@@ -1,0 +1,64 @@
+// Ablation: deterministic destination-indexed routing (what InfiniBand
+// actually does, and what we model) vs idealized shortest-path routing.
+// Shortest paths would collapse Table I's 7-hop class to 5 hops -- the
+// measured Fig. 10 plateau at ~3.8 us exists *because* routing is
+// deterministic.  This ablation justifies the routing design choice in
+// DESIGN.md §4.
+#include <iostream>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rr;
+  const topo::Topology t = topo::Topology::roadrunner();
+  const topo::NodeId src{0};
+
+  // Deterministic histogram (the model's routing).
+  const std::vector<int> det = t.hop_histogram(src);
+
+  // Shortest-path histogram: BFS over the crossbar graph from node 0's
+  // lower crossbar; a destination's hop count is the crossbar count on
+  // the shortest path to its lower crossbar.
+  const topo::Attachment& a0 = t.attachment(src);
+  const auto dist = t.bfs_crossbar_distance(t.cu_lower_id(a0.cu, a0.lower_xbar));
+  std::vector<int> bfs(det.size(), 0);
+  for (int d = 0; d < t.node_count(); ++d) {
+    if (d == src.v) {
+      ++bfs[0];
+      continue;
+    }
+    const topo::Attachment& att = t.attachment(topo::NodeId{d});
+    const int h = dist[t.cu_lower_id(att.cu, att.lower_xbar)];
+    if (h >= static_cast<int>(bfs.size())) bfs.resize(h + 1, 0);
+    ++bfs[h];
+  }
+
+  print_banner(std::cout,
+               "Ablation: deterministic vs shortest-path routing (from node 0)");
+  Table table({"hops", "deterministic (paper Table I)", "shortest-path (ideal)"});
+  for (std::size_t h = 0; h < det.size(); ++h)
+    if (det[h] > 0 || bfs[h] > 0)
+      table.row().add(h).add(det[h]).add(h < bfs.size() ? bfs[h] : 0);
+  table.print(std::cout);
+
+  auto average = [&](const std::vector<int>& hist) {
+    std::int64_t total = 0, count = 0;
+    for (std::size_t h = 0; h < hist.size(); ++h) {
+      total += static_cast<std::int64_t>(h) * hist[h];
+      count += hist[h];
+    }
+    return static_cast<double>(total) / count;
+  };
+  std::cout << "\naverage hops: deterministic " << format_double(average(det), 2)
+            << " (paper: 5.38), shortest-path " << format_double(average(bfs), 2)
+            << "\n\nShortest paths would cut the 7-hop class roughly in half:\n"
+               "far-side destinations whose crossbar shares an inter-CU switch\n"
+               "with the source's are physically 5 crossbars away, but the\n"
+               "single deterministic path per destination must first cross to\n"
+               "the destination-indexed crossbar inside the source CU.  The\n"
+               "measured Fig. 10 plateau structure matches the deterministic\n"
+               "column -- evidence the real machine routed this way.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// One triblade's software stack from the inside: the DaCS element
+// topology (host Opteron + accelerator Cells) moving real buffers with
+// wait identifiers, and an ALF-style work-block queue executing real SPU
+// kernels on the functional interpreter -- the two intra-node layers the
+// paper's applications were built on (Sections III-V).
+//
+// Run:  ./accelerator_node [--blocks=16] [--elements=512] [--best]
+#include <iostream>
+
+#include "alf/alf.hpp"
+#include "dacs/dacs.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rr;
+  const CliParser cli(argc, argv);
+  const int n_blocks = static_cast<int>(cli.get_int("blocks", 16));
+  const int elements = static_cast<int>(cli.get_int("elements", 512));
+  const bool best = cli.get_bool("best", false);
+
+  // --- DaCS: the host stages data to an accelerator and back -------------
+  print_banner(std::cout, "DaCS: host element <-> accelerator elements");
+  sim::Simulator sim;
+  dacs::DacsRuntime dacs_rt(sim, dacs::DacsConfig{4, best});
+  std::vector<double> echoed;
+  auto he_prog = [](dacs::Element he, std::vector<double>* out) -> sim::Task<void> {
+    std::vector<double> staged{3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+    const dacs::Wid sw = he.send(dacs::DeId{1}, 0, std::move(staged));
+    co_await he.wait(sw);
+    const dacs::Wid rw = he.recv(dacs::DeId{1}, 1);
+    co_await he.wait(rw);
+    *out = he.take_received(rw);
+  };
+  auto ae_prog = [](dacs::Element ae) -> sim::Task<void> {
+    const dacs::Wid rw = ae.recv(dacs::DeId{0}, 0);
+    co_await ae.wait(rw);
+    std::vector<double> data = ae.take_received(rw);
+    for (double& v : data) v *= 2.0;  // "accelerate"
+    const dacs::Wid sw = ae.send(dacs::DeId{0}, 1, std::move(data));
+    co_await ae.wait(sw);
+  };
+  std::vector<sim::Task<void>> progs;
+  progs.push_back(he_prog(dacs_rt.host_element(), &echoed));
+  progs.push_back(ae_prog(dacs_rt.accelerator(0)));
+  dacs_rt.run(std::move(progs));
+  std::cout << "round trip through the Cell: ";
+  for (const double v : echoed) std::cout << v << " ";
+  std::cout << "\nsimulated time: " << format_double(sim.now().us(), 2)
+            << " us (two " << (best ? "raw-PCIe" : "early-DaCS") << " crossings each way)\n";
+
+  // --- ALF: a work-block queue over the 8 SPEs of one Cell ----------------
+  print_banner(std::cout, "ALF: DAXPY work blocks on the functional SPU interpreter");
+  alf::AlfConfig cfg;
+  cfg.accelerators = 8;
+  alf::AlfRuntime alf_rt(cfg);
+  Rng rng(2008);
+  std::vector<alf::WorkBlock> blocks(n_blocks);
+  for (auto& b : blocks) {
+    b.input.resize(2 * elements);
+    for (auto& v : b.input) v = rng.uniform(-1, 1);
+  }
+  const alf::Task task = alf::daxpy_task(1.5);
+  const alf::RunStats stats = alf_rt.run(task, blocks);
+
+  // Verify one block on the host.
+  std::size_t wrong = 0;
+  for (const auto& b : blocks)
+    for (int i = 0; i < elements; ++i)
+      if (b.output[i] != 1.5 * b.input[i] + b.input[elements + i]) ++wrong;
+
+  Table t({"metric", "value"});
+  t.row().add("work blocks / SPEs").add(std::to_string(stats.blocks) + " / " +
+                                        std::to_string(stats.accelerators_used));
+  t.row().add("SPU instructions executed (functional)").add(
+      static_cast<std::int64_t>(stats.instructions));
+  t.row().add("wrong results").add(static_cast<std::int64_t>(wrong));
+  t.row().add("simulated makespan").add(format_double(stats.simulated_time.us(), 1) +
+                                        " us");
+  t.row().add("SPE utilization (DMA hiding)").add(
+      format_double(100 * stats.utilization, 1) + " %");
+  t.print(std::cout);
+
+  std::cout << "\nDAXPY at 0.125 flop/byte is bandwidth-bound: even with\n"
+               "double buffering the eight SPEs share one 25.6 GB/s memory\n"
+               "interface -- the granularity wall that pushed Sweep3D from\n"
+               "the master/worker design to the SPE-centric one.\n";
+  return 0;
+}

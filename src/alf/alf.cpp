@@ -1,0 +1,150 @@
+#include "alf/alf.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace rr::alf {
+
+AlfRuntime::AlfRuntime(AlfConfig config) : config_(config) {
+  RR_EXPECTS(config_.accelerators >= 1);
+}
+
+RunStats AlfRuntime::run(const Task& task, std::vector<WorkBlock>& blocks) {
+  RR_EXPECTS(task.kernel != nullptr);
+  RR_EXPECTS(task.output_doubles != nullptr);
+
+  const spu::SpuPipeline pipe{spu::PipelineSpec::for_variant(config_.variant)};
+  const spu::DmaEngine dma{config_.dma};
+  const BlockLayout layout;
+
+  RunStats stats;
+  stats.blocks = static_cast<int>(blocks.size());
+  stats.accelerators_used =
+      std::min<int>(config_.accelerators, static_cast<int>(blocks.size()));
+  if (blocks.empty()) return stats;
+
+  const int concurrent = stats.accelerators_used;
+  Duration makespan = Duration::zero();
+  double dma_total_s = 0.0, compute_total_s = 0.0;
+
+  for (int a = 0; a < stats.accelerators_used; ++a) {
+    spu::Interpreter cpu;  // one accelerator context
+    Duration dma_in_free = Duration::zero();   // input tag group
+    Duration dma_out_free = Duration::zero();  // output tag group
+    Duration cpu_free = Duration::zero();
+    Duration serial_clock = Duration::zero();
+
+    for (std::size_t b = a; b < blocks.size();
+         b += static_cast<std::size_t>(stats.accelerators_used)) {
+      WorkBlock& block = blocks[b];
+      RR_EXPECTS(!block.input.empty());
+      const int in_doubles = static_cast<int>(block.input.size());
+      const int out_doubles = task.output_doubles(in_doubles);
+      RR_EXPECTS(out_doubles > 0);
+
+      // --- functional execution -------------------------------------------
+      cpu.write_ls(layout.input_addr, block.input.data(), block.input.size() * 8);
+      const spu::MicroProgram program = task.kernel(layout, in_doubles);
+      const spu::ExecResult exec = cpu.run(program);
+      RR_ENSURES(exec.hit_stop);
+      stats.instructions += exec.instructions;
+      block.output.resize(out_doubles);
+      cpu.read_ls(layout.output_addr, block.output.data(),
+                  static_cast<std::size_t>(out_doubles) * 8);
+
+      // --- timing -----------------------------------------------------------
+      const Duration d_in =
+          dma.transfer_time(DataSize::bytes(in_doubles * 8), concurrent);
+      const Duration d_out =
+          dma.transfer_time(DataSize::bytes(out_doubles * 8), concurrent);
+      const Duration c = pipe.to_time(
+          static_cast<double>(spu::Interpreter::trace_timing(exec.trace, pipe).cycles));
+      dma_total_s += d_in.sec() + d_out.sec();
+      compute_total_s += c.sec();
+
+      if (config_.double_buffering) {
+        // Input and output DMAs use separate tag groups, so the next
+        // block's input streams in under the current compute, and outputs
+        // drain independently: steady state = max(d_in, compute, d_out).
+        const Duration in_done = dma_in_free + d_in;
+        const Duration compute_done = std::max(in_done, cpu_free) + c;
+        dma_in_free = in_done;
+        dma_out_free = std::max(compute_done, dma_out_free) + d_out;
+        cpu_free = compute_done;
+      } else {
+        serial_clock += d_in + c + d_out;
+      }
+    }
+    const Duration finish = config_.double_buffering
+                                ? std::max(dma_out_free, cpu_free)
+                                : serial_clock;
+    makespan = std::max(makespan, finish);
+  }
+
+  stats.simulated_time = makespan;
+  stats.dma_time = Duration::seconds(dma_total_s);
+  stats.compute_time = Duration::seconds(compute_total_s);
+  stats.utilization = compute_total_s /
+                      (static_cast<double>(stats.accelerators_used) * makespan.sec());
+  return stats;
+}
+
+Task daxpy_task(double alpha) {
+  Task t;
+  t.name = "daxpy";
+  t.output_doubles = [](int in) { return in / 2; };
+  t.kernel = [alpha](const BlockLayout& lay, int in_doubles) {
+    RR_EXPECTS(in_doubles % 4 == 0);  // two 16-B-aligned halves
+    const int n = in_doubles / 2;     // elements of x and of y
+    spu::MicroProgram p;
+    using namespace spu;
+    p.push_back(il(2, n / 2));  // quadword trips
+    p.push_back(il(3, static_cast<std::int32_t>(lay.input_addr)));           // x
+    p.push_back(il(4, static_cast<std::int32_t>(lay.input_addr) + n * 8));   // y
+    p.push_back(il(5, static_cast<std::int32_t>(lay.output_addr)));
+    p.push_back(il_d(6, alpha));
+    const int loop = static_cast<int>(p.size());
+    p.push_back(lqd(10, 3));
+    p.push_back(lqd(11, 4));
+    p.push_back(fma_d(12, 6, 10, 11));  // alpha*x + y
+    p.push_back(stqd(12, 5));
+    p.push_back(ai(3, 3, 16));
+    p.push_back(ai(4, 4, 16));
+    p.push_back(ai(5, 5, 16));
+    p.push_back(ai(2, 2, -1));
+    p.push_back(brnz(2, loop));
+    p.push_back(stop());
+    return p;
+  };
+  return t;
+}
+
+Task scale_sum_task(double factor) {
+  Task t;
+  t.name = "scale-sum";
+  t.output_doubles = [](int) { return 2; };  // per-lane sums
+  t.kernel = [factor](const BlockLayout& lay, int in_doubles) {
+    RR_EXPECTS(in_doubles % 2 == 0);
+    spu::MicroProgram p;
+    using namespace spu;
+    p.push_back(il(2, in_doubles / 2));
+    p.push_back(il(3, static_cast<std::int32_t>(lay.input_addr)));
+    p.push_back(il(5, static_cast<std::int32_t>(lay.output_addr)));
+    p.push_back(il_d(7, 0.0));       // accumulator
+    p.push_back(il_d(6, factor));
+    const int loop = static_cast<int>(p.size());
+    p.push_back(lqd(10, 3));
+    p.push_back(fa_d(7, 7, 10));
+    p.push_back(ai(3, 3, 16));
+    p.push_back(ai(2, 2, -1));
+    p.push_back(brnz(2, loop));
+    p.push_back(fm_d(8, 7, 6));
+    p.push_back(stqd(8, 5));
+    p.push_back(stop());
+    return p;
+  };
+  return t;
+}
+
+}  // namespace rr::alf

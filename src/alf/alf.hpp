@@ -1,0 +1,88 @@
+// An ALF-style offload runtime (paper reference [11]: IBM's Accelerated
+// Library Framework, which "does support hybrid execution within a node
+// but not across nodes").  The shape of the real API:
+//
+//   * a compute TASK: an SPU kernel plus a description of its work-block
+//     I/O buffers;
+//   * WORK BLOCKS queued by the host: each block's input buffer is DMAed
+//     into an accelerator's local store, the kernel runs, and the output
+//     buffer is DMAed back;
+//   * the runtime schedules blocks onto the node's accelerator contexts
+//     and overlaps DMA with compute via double buffering.
+//
+// Functionally real: kernels are MicroPrograms executed on the SPU
+// interpreter against real local-store bytes.  Temporally modeled: DMA
+// crossings are charged by the spu::DmaEngine, kernel time by the
+// pipeline scoreboard over the dynamic trace, on the simulated clock.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "spu/dma.hpp"
+#include "spu/interpreter.hpp"
+
+namespace rr::alf {
+
+/// Local-store layout every task kernel sees.
+struct BlockLayout {
+  std::uint32_t input_addr = 0x1000;   ///< input buffer base (16-B aligned)
+  std::uint32_t output_addr = 0x20000; ///< output buffer base
+};
+
+/// A compute task: given the layout and the element count of one block,
+/// produce the SPU kernel for it.
+struct Task {
+  std::string name;
+  std::function<spu::MicroProgram(const BlockLayout&, int input_doubles)> kernel;
+  /// Output doubles produced per block, given the input doubles.
+  std::function<int(int)> output_doubles;
+};
+
+struct WorkBlock {
+  std::vector<double> input;
+  std::vector<double> output;  ///< filled by run()
+};
+
+struct RunStats {
+  Duration simulated_time;     ///< makespan across all accelerators
+  Duration dma_time;           ///< total DMA busy time (all accelerators)
+  Duration compute_time;       ///< total kernel busy time
+  std::uint64_t instructions = 0;
+  int blocks = 0;
+  int accelerators_used = 0;
+  /// compute_time / (accelerators * simulated_time): how well DMA hid.
+  double utilization = 0.0;
+};
+
+struct AlfConfig {
+  int accelerators = 8;  ///< SPEs available to the task queue
+  arch::CellVariant variant = arch::CellVariant::kPowerXCell8i;
+  bool double_buffering = true;  ///< overlap a block's DMA with compute
+  spu::DmaParams dma = {};
+};
+
+/// The node-local runtime: executes a queue of work blocks for one task.
+class AlfRuntime {
+ public:
+  explicit AlfRuntime(AlfConfig config = {});
+
+  const AlfConfig& config() const { return config_; }
+
+  /// Execute all blocks (filling each block's output) and return the
+  /// simulated-time statistics.  Blocks are dealt to accelerators in
+  /// round-robin order; each accelerator processes its share in sequence,
+  /// with input DMA overlapped against the previous block's compute when
+  /// double buffering is on.
+  RunStats run(const Task& task, std::vector<WorkBlock>& blocks);
+
+ private:
+  AlfConfig config_;
+};
+
+/// Ready-made tasks (used by tests and the example).
+Task daxpy_task(double alpha);       ///< out[i] = alpha * x[i] + y[i] (x,y interleaved)
+Task scale_sum_task(double factor);  ///< out[0] = factor * sum(in)
+
+}  // namespace rr::alf

@@ -1,0 +1,135 @@
+// Calibration constants, each sourced from a specific statement in
+// Barker et al., "Entering the Petaflop Era: The Architecture and
+// Performance of Roadrunner", SC 2008.  Every number a model consumes
+// lives here, next to the sentence that justifies it (see DESIGN.md §4).
+//
+// Constants fall in two classes:
+//   * architectural facts (clock rates, port counts, peak bandwidths) --
+//     inputs to the models;
+//   * measured anchors (Streams numbers, ping-pong latencies) -- used only
+//     to *calibrate* software-overhead parameters and to *validate* model
+//     output in EXPERIMENTS.md.  Models never return an anchor verbatim;
+//     they derive it from architectural inputs plus calibrated overheads.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace rr::arch::cal {
+
+// --------------------------------------------------------------------------
+// Clocks and issue widths (Section II.A)
+// --------------------------------------------------------------------------
+inline constexpr Frequency kOpteronClock = Frequency::ghz(1.8);
+inline constexpr Frequency kCellClock = Frequency::ghz(3.2);
+inline constexpr double kOpteronDpFlopsPerCycle = 2.0;  // per core
+inline constexpr double kOpteronSpFlopsPerCycle = 4.0;  // 14.4 SP Gf/s per socket
+inline constexpr double kPpeDpFlopsPerCycle = 2.0;      // "two DP ... per cycle"
+inline constexpr double kPpeSpFlopsPerCycle = 8.0;      // 25.6 SP Gf/s (Table II roll-up)
+inline constexpr double kSpeDpFlopsPerCycle = 4.0;      // "4 DP ... per cycle"
+inline constexpr double kSpeSpFlopsPerCycle = 8.0;      // "8 SP ... per cycle"
+// Cell BE's FPD unit issues one instruction every 7 cycles (not pipelined):
+// "aggregate SPE peak ... only 14.6 Gflops/s DP" = 8 * 4 flops / 7 cyc * 3.2 GHz.
+inline constexpr int kCellBeFpdIssueInterval = 7;
+
+// --------------------------------------------------------------------------
+// Caches and local store (Section II.A)
+// --------------------------------------------------------------------------
+inline constexpr DataSize kOpteronL1d = DataSize::kib(64);
+inline constexpr DataSize kOpteronL1i = DataSize::kib(64);
+inline constexpr DataSize kOpteronL2 = DataSize::mib(2);  // per core, as stated
+inline constexpr DataSize kPpeL1d = DataSize::kib(32);
+inline constexpr DataSize kPpeL1i = DataSize::kib(32);
+inline constexpr DataSize kPpeL2 = DataSize::kib(512);
+inline constexpr DataSize kSpeLocalStore = DataSize::kib(256);
+
+// --------------------------------------------------------------------------
+// Memory (Sections II.A, IV.B)
+// --------------------------------------------------------------------------
+inline constexpr DataSize kMemPerOpteronCore = DataSize::gib(4);  // DDR2-667
+inline constexpr DataSize kMemPerCell = DataSize::gib(4);         // DDR2-800
+inline constexpr Bandwidth kOpteronMemBwPerSocket = Bandwidth::gb_per_sec(10.7);
+inline constexpr Bandwidth kCellMemBw = Bandwidth::gb_per_sec(25.6);
+inline constexpr Bandwidth kSpeLocalStorePeakBw = Bandwidth::gb_per_sec(51.2);
+// EIB moves 96 bytes/cycle among SPEs/PPE/MIC (Section IV.B).
+inline constexpr double kEibBytesPerCycle = 96.0;
+// Cell BE (PlayStation 3 era) blade memory limit (Section II): Rambus XDR.
+inline constexpr DataSize kCellBeBladeMemLimit = DataSize::gib(2);
+inline constexpr DataSize kPxc8iBladeMemLimit = DataSize::gib(32);
+
+// Measured anchors, Table III (used for validation, and as level-latency
+// parameters of the memory hierarchy models):
+inline constexpr Bandwidth kAnchorStreamsOpteron = Bandwidth::gb_per_sec(5.41);
+inline constexpr Bandwidth kAnchorStreamsPpe = Bandwidth::gb_per_sec(0.89);
+inline constexpr Bandwidth kAnchorStreamsSpe = Bandwidth::gb_per_sec(29.28);
+inline constexpr Duration kAnchorMemLatOpteron = Duration::nanoseconds(30.5);
+inline constexpr Duration kAnchorMemLatPpe = Duration::nanoseconds(23.4);
+inline constexpr Duration kAnchorMemLatSpe = Duration::nanoseconds(9.4);
+
+// --------------------------------------------------------------------------
+// Intra-node fabric (Section II.A, Fig. 1)
+// --------------------------------------------------------------------------
+inline constexpr Bandwidth kPciePeakPerDirection = Bandwidth::gb_per_sec(2.0);   // x8
+inline constexpr Bandwidth kHtPeak = Bandwidth::gb_per_sec(6.4);                 // HT x16
+// Measured achievable raw PCIe (Section VI.A): 1.6 GB/s, 2 us minimum latency.
+inline constexpr Bandwidth kPcieAchievableBw = Bandwidth::gb_per_sec(1.6);
+inline constexpr Duration kPcieAchievableLatency = Duration::microseconds(2.0);
+
+// --------------------------------------------------------------------------
+// Interconnect (Sections II.B, II.C, IV.C)
+// --------------------------------------------------------------------------
+inline constexpr Bandwidth kIbLinkBwPerDirection = Bandwidth::gb_per_sec(2.0);  // 4x DDR
+inline constexpr Duration kSwitchHopLatency = Duration::nanoseconds(220);
+inline constexpr int kCuCount = 17;
+inline constexpr int kNodesPerCu = 180;
+inline constexpr int kIoNodesPerCu = 12;
+inline constexpr int kInterCuSwitchCount = 8;
+inline constexpr int kCuLowerCrossbars = 24;
+inline constexpr int kCuUpperCrossbars = 12;
+inline constexpr int kCrossbarPorts = 24;
+inline constexpr int kUplinksPerLowerCrossbar = 4;  // Fig. 2: "4 inter-CU channels"
+inline constexpr int kFirstLevelCuCount = 12;       // CUs 1-12 on level-1 crossbars
+inline constexpr int kNodeCount = kCuCount * kNodesPerCu;  // 3,060
+
+// Measured anchors, Figs. 6-10:
+inline constexpr Duration kAnchorDacsLatency = Duration::microseconds(3.19);
+inline constexpr Duration kAnchorMpiInternodeLatency = Duration::microseconds(2.16);
+inline constexpr Duration kAnchorSpeLocalLeg = Duration::microseconds(0.12);
+inline constexpr Duration kAnchorCellToCellLatency = Duration::microseconds(8.78);
+inline constexpr Duration kAnchorSameCrossbarMpiLatency = Duration::microseconds(2.5);
+inline constexpr Bandwidth kAnchorIbCores13 = Bandwidth::mb_per_sec(1478);
+inline constexpr Bandwidth kAnchorIbCores02 = Bandwidth::mb_per_sec(1087);
+inline constexpr Bandwidth kAnchorIntranodeBidir = Bandwidth::mb_per_sec(1295);
+inline constexpr Bandwidth kAnchorIntranodeUniX2 = Bandwidth::mb_per_sec(2017);
+inline constexpr Bandwidth kAnchorInternodeBidir = Bandwidth::mb_per_sec(375);
+inline constexpr Bandwidth kAnchorInternodeUniX2 = Bandwidth::mb_per_sec(536);
+inline constexpr Bandwidth kAnchorMpi1MbDefault = Bandwidth::mb_per_sec(980);
+inline constexpr Bandwidth kAnchorMpi1MbPinned = Bandwidth::gb_per_sec(1.6);
+
+// CML intra-socket peak (Section V.C).
+inline constexpr Duration kAnchorCmlIntraSocketLatency = Duration::microseconds(0.272);
+inline constexpr Bandwidth kAnchorCmlIntraSocketBw = Bandwidth::gb_per_sec(22.4);
+
+// --------------------------------------------------------------------------
+// Headline numbers (Sections I, II, VII)
+// --------------------------------------------------------------------------
+inline constexpr FlopRate kAnchorSystemPeakDp = FlopRate::pflops(1.38);
+inline constexpr FlopRate kAnchorSystemPeakSp = FlopRate::pflops(2.91);
+inline constexpr FlopRate kAnchorLinpack = FlopRate::pflops(1.026);
+inline constexpr double kAnchorGreen500MflopsPerWatt = 437.0;
+inline constexpr double kAnchorCellOnlyMflopsPerWatt = 488.0;
+// "Approximately 95% of the peak performance ... from the PowerXCell 8i."
+inline constexpr double kAnchorCellPeakFraction = 0.95;
+
+// --------------------------------------------------------------------------
+// Sweep3D anchors (Section VI)
+// --------------------------------------------------------------------------
+// Table IV (50x50x50 subgrid, MK=10, 6 angles): seconds per iteration.
+inline constexpr double kAnchorSweepPrevCbe = 1.3;
+inline constexpr double kAnchorSweepOursCbe = 0.37;
+inline constexpr double kAnchorSweepOursPxc = 0.19;
+// Section IV.A application speedups on PowerXCell 8i vs Cell BE.
+inline constexpr double kAnchorSpasmSpeedup = 1.5;
+inline constexpr double kAnchorMilagroSpeedup = 1.5;
+inline constexpr double kAnchorSweepPxcVsCbe = 1.9;
+
+}  // namespace rr::arch::cal

@@ -1,0 +1,46 @@
+#include "arch/power.hpp"
+
+#include "util/expect.hpp"
+
+namespace rr::arch {
+
+PowerReport estimate_power(const SystemSpec& system, FlopRate linpack,
+                           const PowerParams& params) {
+  RR_EXPECTS(linpack.in_flops() > 0.0);
+
+  const TribladeSpec& node = system.node;
+  const auto opteron_sockets = static_cast<double>(node.opteron_blade.sockets.size());
+  const auto cell_sockets = static_cast<double>(node.cell_processors());
+  const double blade_count = 1.0 + static_cast<double>(node.cell_blades.size());
+
+  PowerReport r;
+  r.node_w = opteron_sockets * params.opteron_socket_w +
+             cell_sockets * params.cell_socket_w +
+             blade_count * params.per_blade_overhead_w + params.expansion_card_w +
+             params.per_node_network_share_w;
+
+  const double system_w = r.node_w * system.node_count() *
+                          (1.0 + params.facility_overhead_fraction);
+  r.system_mw = system_w * 1e-6;
+  r.linpack_mflops_per_watt = linpack.in_flops() * 1e-6 / system_w;
+
+  // Hypothetical Cell-only machine: drop the Opteron blade and its share of
+  // the triblade plumbing; assume LINPACK efficiency on the Cell fraction
+  // of peak matches the full system's overall efficiency (the two systems
+  // above Roadrunner on the June 2008 Green500 were such machines).
+  const double cell_node_w = cell_sockets * params.cell_socket_w +
+                             static_cast<double>(node.cell_blades.size()) *
+                                 params.per_blade_overhead_w +
+                             params.per_node_network_share_w +
+                             params.cell_only_node_extra_w;
+  const double cell_system_w = cell_node_w * system.node_count() *
+                               (1.0 + params.facility_overhead_fraction);
+  const double efficiency = linpack / system.system_peak(Precision::kDouble);
+  const double cell_linpack =
+      system.system_peak(Precision::kDouble).in_flops() *
+      system.cell_peak_fraction(Precision::kDouble) * efficiency;
+  r.cell_only_mflops_per_watt = cell_linpack * 1e-6 / cell_system_w;
+  return r;
+}
+
+}  // namespace rr::arch

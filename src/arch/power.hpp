@@ -1,0 +1,38 @@
+// Power model for the Green500 data point (Section II): Roadrunner achieved
+// 437 Mflops/W on LINPACK, placing third behind two Cell-only systems at
+// 488 Mflops/W.  We model per-component draw and derive both numbers.
+#pragma once
+
+#include "arch/spec.hpp"
+#include "util/units.hpp"
+
+namespace rr::arch {
+
+/// Per-component power draw, watts.  Defaults reflect published component
+/// TDPs of the era plus blade/chassis overheads, tuned so the LINPACK
+/// efficiency reproduces the Green500 placement (see EXPERIMENTS.md).
+struct PowerParams {
+  double opteron_socket_w = 55.0;     // Opteron 2210 HE, board-level average
+  double cell_socket_w = 90.0;        // PowerXCell 8i blade-level per socket
+  double per_blade_overhead_w = 55.0; // memory, VRMs, fans per blade
+  double expansion_card_w = 30.0;     // triblade interconnect card
+  double per_node_network_share_w = 45.0;  // IB HCA + switch amortization
+  double facility_overhead_fraction = 0.08;  // distribution losses (not PUE)
+  // Extra per-node overhead of a small stand-alone QS22 cluster (service
+  // host amortization); used only for the Green500 "Cell-only" comparison.
+  double cell_only_node_extra_w = 85.0;
+};
+
+struct PowerReport {
+  double node_w = 0.0;
+  double system_mw = 0.0;
+  double linpack_mflops_per_watt = 0.0;
+  double cell_only_mflops_per_watt = 0.0;  // hypothetical Cell-blades-only system
+};
+
+/// Compute node and system power and LINPACK power efficiency.
+/// `linpack` is the sustained LINPACK rate to divide by.
+PowerReport estimate_power(const SystemSpec& system, FlopRate linpack,
+                           const PowerParams& params = {});
+
+}  // namespace rr::arch

@@ -1,0 +1,245 @@
+#include "arch/spec.hpp"
+
+#include "arch/calibration.hpp"
+#include "util/expect.hpp"
+
+namespace rr::arch {
+
+namespace cal = rr::arch::cal;
+
+FlopRate ProcessorSpec::peak(Precision p) const {
+  FlopRate total = FlopRate::flops(0);
+  for (const auto& g : core_groups) total = total + g.peak(p);
+  return total;
+}
+
+DataSize ProcessorSpec::on_chip_total() const {
+  DataSize total = DataSize::zero();
+  for (const auto& g : core_groups) total = total + g.on_chip_total();
+  return total;
+}
+
+int ProcessorSpec::core_count() const {
+  int n = 0;
+  for (const auto& g : core_groups) n += g.count;
+  return n;
+}
+
+ProcessorSpec make_opteron_2210() {
+  ProcessorSpec p;
+  p.name = "AMD Opteron 2210 HE (dual-core, 1.8 GHz)";
+  CoreGroup cores;
+  cores.name = "Opteron core";
+  cores.count = 2;
+  cores.clock = cal::kOpteronClock;
+  cores.dp_flops_per_cycle = cal::kOpteronDpFlopsPerCycle;
+  cores.sp_flops_per_cycle = cal::kOpteronSpFlopsPerCycle;
+  cores.memory = CoreMemory{cal::kOpteronL1d, cal::kOpteronL1i, cal::kOpteronL2,
+                            DataSize::zero()};
+  p.core_groups.push_back(cores);
+  p.attached_memory = cal::kMemPerOpteronCore * 2;  // 4 GB per core
+  p.memory_bandwidth = cal::kOpteronMemBwPerSocket;
+  return p;
+}
+
+ProcessorSpec make_cell(CellVariant variant) {
+  ProcessorSpec p;
+  const bool pxc = variant == CellVariant::kPowerXCell8i;
+  p.name = pxc ? "IBM PowerXCell 8i (3.2 GHz)" : "IBM Cell BE (3.2 GHz)";
+
+  CoreGroup ppe;
+  ppe.name = "PPE";
+  ppe.count = 1;
+  ppe.clock = cal::kCellClock;
+  ppe.dp_flops_per_cycle = cal::kPpeDpFlopsPerCycle;
+  ppe.sp_flops_per_cycle = cal::kPpeSpFlopsPerCycle;
+  ppe.memory = CoreMemory{cal::kPpeL1d, cal::kPpeL1i, cal::kPpeL2, DataSize::zero()};
+  p.core_groups.push_back(ppe);
+
+  CoreGroup spe;
+  spe.name = "SPE";
+  spe.count = 8;
+  spe.clock = cal::kCellClock;
+  // Cell BE's FPD unit is not pipelined: one 4-flop SIMD DP instruction may
+  // issue only every kCellBeFpdIssueInterval cycles (Section IV.A), giving
+  // 14.6 Gflop/s aggregate instead of 102.4.
+  spe.dp_flops_per_cycle =
+      pxc ? cal::kSpeDpFlopsPerCycle
+          : cal::kSpeDpFlopsPerCycle / cal::kCellBeFpdIssueInterval;
+  spe.sp_flops_per_cycle = cal::kSpeSpFlopsPerCycle;
+  spe.memory = CoreMemory{DataSize::zero(), DataSize::zero(), DataSize::zero(),
+                          cal::kSpeLocalStore};
+  p.core_groups.push_back(spe);
+
+  p.attached_memory = cal::kMemPerCell;
+  p.memory_bandwidth = cal::kCellMemBw;  // XDR and DDR2-800 are comparable (IV.A)
+  return p;
+}
+
+ProcessorSpec make_opteron_quad_2000() {
+  ProcessorSpec p;
+  p.name = "AMD Opteron (quad-core, 2.0 GHz)";
+  CoreGroup cores;
+  cores.name = "Opteron core";
+  cores.count = 4;
+  cores.clock = Frequency::ghz(2.0);
+  cores.dp_flops_per_cycle = 4.0;  // Barcelona: 2 x 128-bit FP pipes
+  cores.sp_flops_per_cycle = 8.0;
+  cores.memory = CoreMemory{DataSize::kib(64), DataSize::kib(64), DataSize::kib(512),
+                            DataSize::zero()};
+  p.core_groups.push_back(cores);
+  p.attached_memory = DataSize::gib(8);
+  p.memory_bandwidth = Bandwidth::gb_per_sec(12.8);  // DDR2-800, 2 channels
+  return p;
+}
+
+ProcessorSpec make_tigerton_quad_2930() {
+  ProcessorSpec p;
+  p.name = "Intel Xeon X7350 'Tigerton' (quad-core, 2.93 GHz)";
+  CoreGroup cores;
+  cores.name = "Tigerton core";
+  cores.count = 4;
+  cores.clock = Frequency::ghz(2.93);
+  cores.dp_flops_per_cycle = 4.0;
+  cores.sp_flops_per_cycle = 8.0;
+  cores.memory = CoreMemory{DataSize::kib(32), DataSize::kib(32), DataSize::mib(2),
+                            DataSize::zero()};
+  p.core_groups.push_back(cores);
+  p.attached_memory = DataSize::gib(8);
+  p.memory_bandwidth = Bandwidth::gb_per_sec(8.5);  // FSB-limited per socket
+  return p;
+}
+
+FlopRate BladeSpec::peak(Precision p) const {
+  FlopRate total = FlopRate::flops(0);
+  for (const auto& s : sockets) total = total + s.peak(p);
+  return total;
+}
+
+DataSize BladeSpec::total_memory() const {
+  DataSize total = DataSize::zero();
+  for (const auto& s : sockets) total = total + s.attached_memory;
+  return total;
+}
+
+DataSize BladeSpec::on_chip_total() const {
+  DataSize total = DataSize::zero();
+  for (const auto& s : sockets) total = total + s.on_chip_total();
+  return total;
+}
+
+BladeSpec make_ls21() {
+  BladeSpec b;
+  b.name = "IBM LS21 (2x Opteron 2210)";
+  b.sockets = {make_opteron_2210(), make_opteron_2210()};
+  return b;
+}
+
+BladeSpec make_qs22(CellVariant variant) {
+  BladeSpec b;
+  b.name = variant == CellVariant::kPowerXCell8i ? "IBM QS22 (2x PowerXCell 8i)"
+                                                 : "Cell BE blade (2x Cell BE)";
+  b.sockets = {make_cell(variant), make_cell(variant)};
+  return b;
+}
+
+FlopRate TribladeSpec::peak(Precision p) const {
+  return opteron_peak(p) + cell_peak(p);
+}
+
+FlopRate TribladeSpec::opteron_peak(Precision p) const { return opteron_blade.peak(p); }
+
+FlopRate TribladeSpec::cell_peak(Precision p) const {
+  FlopRate total = FlopRate::flops(0);
+  for (const auto& b : cell_blades) total = total + b.peak(p);
+  return total;
+}
+
+namespace {
+FlopRate cell_group_peak(const TribladeSpec& node, const std::string& group,
+                         Precision p) {
+  FlopRate total = FlopRate::flops(0);
+  for (const auto& blade : node.cell_blades)
+    for (const auto& socket : blade.sockets)
+      for (const auto& g : socket.core_groups)
+        if (g.name == group) total = total + g.peak(p);
+  return total;
+}
+}  // namespace
+
+FlopRate TribladeSpec::spe_peak(Precision p) const {
+  return cell_group_peak(*this, "SPE", p);
+}
+
+FlopRate TribladeSpec::ppe_peak(Precision p) const {
+  return cell_group_peak(*this, "PPE", p);
+}
+
+DataSize TribladeSpec::opteron_memory() const { return opteron_blade.total_memory(); }
+
+DataSize TribladeSpec::cell_memory() const {
+  DataSize total = DataSize::zero();
+  for (const auto& b : cell_blades) total = total + b.total_memory();
+  return total;
+}
+
+DataSize TribladeSpec::opteron_on_chip() const { return opteron_blade.on_chip_total(); }
+
+DataSize TribladeSpec::cell_on_chip() const {
+  DataSize total = DataSize::zero();
+  for (const auto& b : cell_blades) total = total + b.on_chip_total();
+  return total;
+}
+
+int TribladeSpec::opteron_cores() const {
+  int n = 0;
+  for (const auto& s : opteron_blade.sockets) n += s.core_count();
+  return n;
+}
+
+int TribladeSpec::cell_processors() const {
+  int n = 0;
+  for (const auto& b : cell_blades) n += static_cast<int>(b.sockets.size());
+  return n;
+}
+
+int TribladeSpec::spe_count() const {
+  int n = 0;
+  for (const auto& b : cell_blades)
+    for (const auto& s : b.sockets)
+      for (const auto& g : s.core_groups)
+        if (g.name == "SPE") n += g.count;
+  return n;
+}
+
+TribladeSpec make_triblade(CellVariant variant) {
+  TribladeSpec node;
+  node.opteron_blade = make_ls21();
+  node.cell_blades = {make_qs22(variant), make_qs22(variant)};
+  // One accelerator per host core (Section II): 4 Opteron cores, 4 Cells.
+  RR_ENSURES(node.opteron_cores() == node.cell_processors());
+  return node;
+}
+
+FlopRate SystemSpec::cu_peak(Precision p) const {
+  return node.peak(p) * nodes_per_cu;
+}
+
+FlopRate SystemSpec::system_peak(Precision p) const {
+  return cu_peak(p) * cu_count;
+}
+
+double SystemSpec::cell_peak_fraction(Precision p) const {
+  return node.cell_peak(p) / node.peak(p);
+}
+
+SystemSpec make_roadrunner() {
+  SystemSpec s;
+  s.node = make_triblade(CellVariant::kPowerXCell8i);
+  s.cu_count = cal::kCuCount;
+  s.nodes_per_cu = cal::kNodesPerCu;
+  s.io_nodes_per_cu = cal::kIoNodesPerCu;
+  return s;
+}
+
+}  // namespace rr::arch

@@ -1,0 +1,43 @@
+// Analytic cost models for the collective operations CML provides
+// (Section V.C: "barriers, broadcasts, and data reductions").  These give
+// closed forms for the tree algorithms the functional layer implements;
+// tests cross-validate them against the discrete-event execution.
+#pragma once
+
+#include "comm/channel.hpp"
+
+namespace rr::comm {
+
+/// Communication cost parameters of one collective step between the
+/// "widest" pair of ranks involved (worst-case leg).
+struct CollectiveLegs {
+  Duration intra_socket;   ///< SPE<->SPE over the EIB
+  Duration cross_socket;   ///< through PPE/DaCS within a node
+  Duration internode;      ///< full Cell-Opteron-Opteron-Cell path
+
+  /// Legs of the modeled Roadrunner software stack for a payload size.
+  static CollectiveLegs roadrunner(DataSize payload,
+                                   bool best_case_pcie = false);
+};
+
+/// Rounds of a dissemination barrier over n ranks.
+int barrier_rounds(int n);
+
+/// Rounds (tree depth) of a binomial broadcast/reduction over n ranks.
+int binomial_rounds(int n);
+
+/// Worst-case completion time of a dissemination barrier where each round
+/// may cross the widest leg.  `ranks_per_socket` bounds which rounds stay
+/// on the EIB: round k's partner is 2^k ranks away.
+Duration barrier_time(int n, const CollectiveLegs& legs, int ranks_per_socket = 8,
+                      int ranks_per_node = 32);
+
+/// Binomial broadcast completion time (depth x widest active leg).
+Duration broadcast_time(int n, const CollectiveLegs& legs, int ranks_per_socket = 8,
+                        int ranks_per_node = 32);
+
+/// Allreduce = reduce + broadcast over the same tree.
+Duration allreduce_time(int n, const CollectiveLegs& legs, int ranks_per_socket = 8,
+                        int ranks_per_node = 32);
+
+}  // namespace rr::comm

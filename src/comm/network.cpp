@@ -1,0 +1,83 @@
+#include "comm/network.hpp"
+
+#include "util/expect.hpp"
+
+namespace rr::comm {
+
+SimNetwork::SimNetwork(sim::Simulator& sim, const topo::Topology& topo,
+                       NetworkConfig config)
+    : sim_(&sim),
+      topo_(&topo),
+      config_(config),
+      eib_(cml_eib()),
+      dacs_(config.best_case_pcie ? pcie_raw() : dacs_pcie()),
+      mpi_(mpi_infiniband(true)),
+      fabric_(topo) {
+  RR_EXPECTS(config_.cells_per_node >= 1);
+  hca_tx_.reserve(topo.node_count());
+  for (int i = 0; i < topo.node_count(); ++i)
+    hca_tx_.push_back(std::make_unique<sim::Resource>(sim, 1));
+  const std::size_t pcie_count =
+      static_cast<std::size_t>(topo.node_count()) * config_.cells_per_node;
+  pcie_.reserve(pcie_count);
+  for (std::size_t i = 0; i < pcie_count; ++i)
+    pcie_.push_back(std::make_unique<sim::Resource>(sim, 1));
+}
+
+Duration SimNetwork::eib_time(DataSize n) const { return eib_.one_way(n); }
+
+Duration SimNetwork::dacs_time(DataSize n) const { return dacs_.one_way(n); }
+
+Duration SimNetwork::ib_time(int src_node, int dst_node, DataSize n) const {
+  const Duration hops =
+      kPerHopLatency * topo_->hop_count(topo::NodeId{src_node}, topo::NodeId{dst_node});
+  return mpi_.one_way(n) + hops;
+}
+
+sim::Task<void> SimNetwork::eib_transfer(DataSize n) {
+  ++messages_sent_;
+  bytes_sent_ += n.b();
+  const auto span = trace_ ? trace_->begin("eib " + std::to_string(n.b()) + "B",
+                                           "eib", sim_->now())
+                           : sim::TraceRecorder::SpanId{};
+  co_await sim::Delay{*sim_, eib_time(n)};
+  if (trace_) trace_->end(span, sim_->now());
+}
+
+sim::Task<void> SimNetwork::dacs_transfer(int node, int cell, DataSize n) {
+  RR_EXPECTS(node >= 0 && node < topo_->node_count());
+  RR_EXPECTS(cell >= 0 && cell < config_.cells_per_node);
+  ++messages_sent_;
+  bytes_sent_ += n.b();
+  sim::Resource& link = *pcie_[static_cast<std::size_t>(node) * config_.cells_per_node +
+                              cell];
+  co_await link.acquire();
+  const auto span =
+      trace_ ? trace_->begin("dacs " + std::to_string(n.b()) + "B",
+                             "pcie/node" + std::to_string(node) + ".cell" +
+                                 std::to_string(cell),
+                             sim_->now())
+             : sim::TraceRecorder::SpanId{};
+  co_await sim::Delay{*sim_, dacs_time(n)};
+  if (trace_) trace_->end(span, sim_->now());
+  link.release();
+}
+
+sim::Task<void> SimNetwork::ib_transfer(int src_node, int dst_node, DataSize n) {
+  RR_EXPECTS(src_node >= 0 && src_node < topo_->node_count());
+  RR_EXPECTS(dst_node >= 0 && dst_node < topo_->node_count());
+  ++messages_sent_;
+  bytes_sent_ += n.b();
+  sim::Resource& hca = *hca_tx_[src_node];
+  co_await hca.acquire();
+  const auto span = trace_ ? trace_->begin("ib " + std::to_string(n.b()) + "B to n" +
+                                               std::to_string(dst_node),
+                                           "ib/node" + std::to_string(src_node),
+                                           sim_->now())
+                           : sim::TraceRecorder::SpanId{};
+  co_await sim::Delay{*sim_, ib_time(src_node, dst_node, n)};
+  if (trace_) trace_->end(span, sim_->now());
+  hca.release();
+}
+
+}  // namespace rr::comm

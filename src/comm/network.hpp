@@ -1,0 +1,75 @@
+// Discrete-event transport for functional message-passing (used by the
+// Cell Messaging Layer in src/cml).
+//
+// Timing comes from the calibrated channel models; contention comes from
+// per-resource serialization: each node has one InfiniBand send engine,
+// each Cell one PCIe/DaCS link, each Cell socket one EIB slice.  Transfers
+// are coroutine tasks that hold the relevant resource for the message's
+// serialization time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/fabric.hpp"
+#include "sim/resource.hpp"
+#include "sim/trace.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "topo/topology.hpp"
+
+namespace rr::comm {
+
+struct NetworkConfig {
+  int cells_per_node = 4;
+  /// Use the mature-software parameters (raw PCIe instead of early DaCS).
+  bool best_case_pcie = false;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulator& sim, const topo::Topology& topo,
+             NetworkConfig config = {});
+
+  sim::Simulator& simulator() { return *sim_; }
+  const topo::Topology& topology() const { return *topo_; }
+  const NetworkConfig& config() const { return config_; }
+
+  // -- analytic timing ------------------------------------------------------
+  Duration eib_time(DataSize n) const;                    ///< SPE<->SPE, same Cell
+  Duration dacs_time(DataSize n) const;                   ///< Cell<->Opteron
+  Duration ib_time(int src_node, int dst_node, DataSize n) const;
+
+  // -- contended transfers (awaitable) --------------------------------------
+  /// SPE-to-SPE within one Cell socket: EIB, effectively uncontended.
+  sim::Task<void> eib_transfer(DataSize n);
+  /// Cell <-> Opteron over the Cell's dedicated PCIe link.
+  sim::Task<void> dacs_transfer(int node, int cell, DataSize n);
+  /// Opteron <-> Opteron over InfiniBand; serializes on the sender's HCA.
+  sim::Task<void> ib_transfer(int src_node, int dst_node, DataSize n);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Attach a span recorder; every transfer then emits a span on a track
+  /// named after the link it used ("ib/node3", "pcie/node0.cell2", "eib").
+  /// Pass nullptr to detach.  The recorder must outlive the network.
+  void attach_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  sim::Simulator* sim_;
+  const topo::Topology* topo_;
+  NetworkConfig config_;
+  ChannelModel eib_;
+  ChannelModel dacs_;
+  ChannelModel mpi_;
+  FabricModel fabric_;
+  std::vector<std::unique_ptr<sim::Resource>> hca_tx_;    // one per node
+  std::vector<std::unique_ptr<sim::Resource>> pcie_;      // one per (node, cell)
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  sim::TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace rr::comm

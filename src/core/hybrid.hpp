@@ -1,0 +1,72 @@
+// The three Roadrunner usage models of Section III, as an executable
+// timing model:
+//
+//   kHostOnly     -- the code runs unmodified on the Opterons; the Cell
+//                    blades are ignored (an "ordinary cluster").
+//   kAccelerator  -- the host pushes performance hotspots down to the Cell
+//                    per call: data crosses PCIe both ways around each
+//                    offloaded kernel (SPaSM's approach).
+//   kSpeCentric   -- data lives in Cell memory and the SPEs drive the
+//                    computation; the Opterons only relay messages
+//                    (VPIC's and our Sweep3D's approach).
+//
+// A kernel is characterized by its arithmetic intensity; the runtime
+// charges compute at the owning processor's sustained rate and transfers
+// over the calibrated DaCS/PCIe channel, which reproduces the paper's
+// guidance that hybrid performance is "critically dependent upon the
+// application's ability to exploit spatial and temporal locality".
+#pragma once
+
+#include <string>
+
+#include "core/roadrunner.hpp"
+
+namespace rr::core {
+
+enum class UsageMode { kHostOnly, kAccelerator, kSpeCentric };
+
+const char* usage_mode_name(UsageMode mode);
+
+/// Per-node kernel characterization.
+struct KernelProfile {
+  std::string name;
+  double flops_per_byte = 1.0;       ///< arithmetic intensity (DP flops / byte)
+  double host_efficiency = 0.50;     ///< of Opteron peak (cache-friendly code)
+  double spe_efficiency = 0.35;      ///< of SPE peak (local-store code)
+  /// Fixed software cost per offloaded call (kernel launch, DaCS setup).
+  Duration offload_call_overhead = Duration::microseconds(20);
+};
+
+/// Timing breakdown for one kernel invocation over `bytes` of data
+/// resident according to the usage mode.
+struct HybridExecution {
+  UsageMode mode{};
+  Duration compute;
+  Duration transfer;       ///< PCIe crossings (accelerator mode only)
+  Duration overhead;       ///< launch / relay costs
+  Duration total;
+  FlopRate achieved;       ///< flops / total
+};
+
+class HybridRuntime {
+ public:
+  HybridRuntime(const RoadrunnerSystem& system, bool best_case_pcie = false);
+
+  /// Time one invocation of `kernel` over `data` bytes on one node.
+  HybridExecution run(UsageMode mode, const KernelProfile& kernel,
+                      DataSize data) const;
+
+  /// The data size above which accelerator mode beats host-only for this
+  /// kernel (zero if it always wins, max if it never does).
+  DataSize accelerator_breakeven(const KernelProfile& kernel) const;
+
+  /// Sustained node compute rates implied by the profile.
+  FlopRate host_rate(const KernelProfile& kernel) const;
+  FlopRate cell_rate(const KernelProfile& kernel) const;
+
+ private:
+  const RoadrunnerSystem* system_;
+  bool best_case_pcie_;
+};
+
+}  // namespace rr::core

@@ -1,0 +1,75 @@
+#include "io/io_model.hpp"
+
+#include <algorithm>
+
+#include "arch/calibration.hpp"
+#include "util/expect.hpp"
+
+namespace rr::io {
+
+namespace cal = rr::arch::cal;
+
+IoSubsystem::IoSubsystem(const arch::SystemSpec& system, PanasasParams params)
+    : system_(system), params_(params) {
+  RR_EXPECTS(params_.per_io_node.bps() > 0);
+  RR_EXPECTS(params_.ib_share > 0 && params_.ib_share <= 1.0);
+}
+
+int IoSubsystem::io_node_count() const {
+  return system_.cu_count * system_.io_nodes_per_cu;
+}
+
+Bandwidth IoSubsystem::aggregate_bandwidth() const {
+  return Bandwidth::bytes_per_sec(params_.per_io_node.bps() * io_node_count());
+}
+
+Bandwidth IoSubsystem::per_cu_bandwidth() const {
+  return Bandwidth::bytes_per_sec(params_.per_io_node.bps() *
+                                  system_.io_nodes_per_cu);
+}
+
+Duration IoSubsystem::collective_write(DataSize bytes_per_node) const {
+  RR_EXPECTS(bytes_per_node.b() >= 0);
+  if (bytes_per_node.b() == 0) return Duration::zero();
+  // Compute side: every node injects over its IB link simultaneously;
+  // the fabric is a fat tree, so the file-system side is the usual
+  // bottleneck.
+  const double compute_side_bps =
+      cal::kIbLinkBwPerDirection.bps() * params_.ib_share *
+      system_.node_count();
+  const double fs_side_bps = aggregate_bandwidth().bps();
+  const double effective = std::min(compute_side_bps, fs_side_bps);
+  const double total_bytes =
+      static_cast<double>(bytes_per_node.b()) * system_.node_count();
+  return Duration::seconds(total_bytes / effective);
+}
+
+DataSize IoSubsystem::checkpoint_bytes() const {
+  const arch::TribladeSpec& node = system_.node;
+  const DataSize per_node = node.opteron_memory() + node.cell_memory();
+  return DataSize::bytes(per_node.b() * system_.node_count());
+}
+
+Duration IoSubsystem::full_checkpoint() const {
+  const arch::TribladeSpec& node = system_.node;
+  return collective_write(node.opteron_memory() + node.cell_memory());
+}
+
+Duration IoSubsystem::metadata_storm(int ranks) const {
+  RR_EXPECTS(ranks >= 1);
+  // Directors on the I/O nodes serve creates in parallel, one stream per
+  // I/O node.
+  const int rounds = (ranks + io_node_count() - 1) / io_node_count();
+  return params_.metadata_op * rounds;
+}
+
+Duration IoSubsystem::shared_input_read(DataSize bytes) const {
+  // One node reads the deck from one I/O node, then the fabric broadcast
+  // cost is dominated by a handful of 220 ns hops -- negligible next to
+  // the read itself.
+  return params_.metadata_op +
+         transfer_time(bytes, params_.per_io_node) +
+         cal::kSwitchHopLatency * 7;
+}
+
+}  // namespace rr::io

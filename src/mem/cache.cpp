@@ -1,0 +1,121 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace rr::mem {
+
+namespace {
+int log2_exact(std::int64_t v) {
+  RR_EXPECTS(v > 0 && std::has_single_bit(static_cast<std::uint64_t>(v)));
+  return std::countr_zero(static_cast<std::uint64_t>(v));
+}
+}  // namespace
+
+CacheLevel::CacheLevel(const CacheLevelSpec& spec) : spec_(spec) {
+  RR_EXPECTS(spec.capacity.b() > 0);
+  RR_EXPECTS(spec.associativity > 0);
+  const std::int64_t lines = spec.capacity.b() / spec.line.b();
+  RR_EXPECTS(lines % spec.associativity == 0);
+  num_sets_ = static_cast<int>(lines / spec.associativity);
+  RR_EXPECTS(std::has_single_bit(static_cast<std::uint64_t>(num_sets_)));
+  line_shift_ = log2_exact(spec.line.b());
+  tags_.assign(lines, 0);
+  lru_.assign(lines, 0);
+  valid_.assign(lines, false);
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const auto set = static_cast<int>(line_addr & (num_sets_ - 1));
+  const std::uint64_t tag = line_addr >> log2_exact(num_sets_);
+  const int base = set * spec_.associativity;
+  ++clock_;
+
+  for (int w = 0; w < spec_.associativity; ++w) {
+    if (valid_[base + w] && tags_[base + w] == tag) {
+      lru_[base + w] = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: install over LRU way.
+  int victim = 0;
+  std::uint64_t oldest = UINT64_MAX;
+  for (int w = 0; w < spec_.associativity; ++w) {
+    if (!valid_[base + w]) {
+      victim = w;
+      break;
+    }
+    if (lru_[base + w] < oldest) {
+      oldest = lru_[base + w];
+      victim = w;
+    }
+  }
+  tags_[base + victim] = tag;
+  valid_[base + victim] = true;
+  lru_[base + victim] = clock_;
+  ++misses_;
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevelSpec> levels,
+                               Duration memory_latency)
+    : memory_latency_(memory_latency) {
+  levels_.reserve(levels.size());
+  for (const auto& spec : levels) levels_.emplace_back(spec);
+}
+
+std::size_t CacheHierarchy::access_level(std::uint64_t addr) {
+  // Inclusive hierarchy: probe top-down; install everywhere on miss.
+  std::size_t service = levels_.size();
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].access(addr) && service == levels_.size()) service = i;
+  }
+  return service;
+}
+
+Duration CacheHierarchy::access(std::uint64_t addr) {
+  const std::size_t lvl = access_level(addr);
+  return lvl < levels_.size() ? levels_[lvl].spec().hit_latency : memory_latency_;
+}
+
+void CacheHierarchy::reset_counters() {
+  for (auto& l : levels_) l.reset_counters();
+}
+
+Duration memtime_pointer_chase(CacheHierarchy& h, DataSize footprint,
+                               DataSize stride, int accesses, std::uint64_t seed) {
+  RR_EXPECTS(footprint.b() >= stride.b());
+  RR_EXPECTS(accesses > 0);
+  const auto slots = static_cast<std::size_t>(footprint.b() / stride.b());
+
+  // Build a random single-cycle permutation (Sattolo's algorithm) so the
+  // chase visits every line exactly once per lap in unpredictable order.
+  std::vector<std::uint32_t> next(slots);
+  std::iota(next.begin(), next.end(), 0u);
+  Rng rng(seed);
+  for (std::size_t i = slots - 1; i >= 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(next[i], next[j]);
+  }
+
+  // Warm the hierarchy with one full lap, then measure.
+  std::uint32_t cur = 0;
+  for (std::size_t i = 0; i < slots; ++i) {
+    h.access(static_cast<std::uint64_t>(cur) * stride.b());
+    cur = next[cur];
+  }
+  Duration total = Duration::zero();
+  for (int i = 0; i < accesses; ++i) {
+    total += h.access(static_cast<std::uint64_t>(cur) * stride.b());
+    cur = next[cur];
+  }
+  return Duration::picoseconds(total.ps() / accesses);
+}
+
+}  // namespace rr::mem

@@ -1,0 +1,80 @@
+// Trace-driven set-associative cache hierarchy simulator.
+//
+// Used by the memtime reproduction (Table III): a pointer-chase trace is
+// pushed through the modeled hierarchy and the average load-to-use latency
+// is accumulated from per-level hit latencies.  Also used by tests to
+// validate the analytic level-selection model in memory_system.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rr::mem {
+
+struct CacheLevelSpec {
+  std::string name;       ///< e.g. "L1D"
+  DataSize capacity;
+  int associativity = 2;
+  DataSize line = DataSize::bytes(64);
+  Duration hit_latency;   ///< load-to-use on a hit at this level
+};
+
+/// One inclusive cache level with LRU replacement.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheLevelSpec& spec);
+
+  /// Access `addr`; returns true on hit.  Misses install the line.
+  bool access(std::uint64_t addr);
+
+  const CacheLevelSpec& spec() const { return spec_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  CacheLevelSpec spec_;
+  int num_sets_;
+  int line_shift_;
+  // tags_[set * associativity + way]; lru_[same index] = recency stamp.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<bool> valid_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// A hierarchy: L1..Ln plus a memory latency for full misses.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(std::vector<CacheLevelSpec> levels, Duration memory_latency);
+
+  /// Access `addr` and return the load-to-use latency incurred.
+  Duration access(std::uint64_t addr);
+
+  /// Which level (0-based) would service `addr`; levels.size() == memory.
+  std::size_t access_level(std::uint64_t addr);
+
+  std::size_t num_levels() const { return levels_.size(); }
+  const CacheLevel& level(std::size_t i) const { return levels_[i]; }
+  Duration memory_latency() const { return memory_latency_; }
+  void reset_counters();
+
+ private:
+  std::vector<CacheLevel> levels_;
+  Duration memory_latency_;
+};
+
+/// memtime (Section IV.B): build a pointer ring of `footprint` bytes with
+/// one word per cache line, chase it for `accesses` steps, and report the
+/// average per-access latency.  The ring is shuffled deterministically so
+/// hardware-prefetch-friendly order does not flatter the result.
+Duration memtime_pointer_chase(CacheHierarchy& h, DataSize footprint,
+                               DataSize stride, int accesses,
+                               std::uint64_t seed = 0x5eed);
+
+}  // namespace rr::mem

@@ -1,0 +1,116 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+
+#include "arch/calibration.hpp"
+#include "spu/kernels.hpp"
+#include "util/expect.hpp"
+
+namespace rr::mem {
+
+namespace cal = rr::arch::cal;
+
+MemorySystemSpec opteron_memory_system() {
+  MemorySystemSpec s;
+  s.name = "AMD Opteron 2210 (DDR2-667)";
+  const Frequency clk = cal::kOpteronClock;
+  s.caches = {
+      CacheLevelSpec{"L1D", cal::kOpteronL1d, 2, DataSize::bytes(64), clk.cycles(3)},
+      CacheLevelSpec{"L2", cal::kOpteronL2, 16, DataSize::bytes(64), clk.cycles(12)},
+  };
+  s.interface_peak = cal::kOpteronMemBwPerSocket;
+  s.idle_latency = cal::kAnchorMemLatOpteron;  // pointer-chase measurement
+  // Loaded round trip under streaming pressure (queueing + bank occupancy):
+  // with MLP 8 and 64 B lines this sustains ~7.2 GB/s of physical traffic,
+  // i.e. the 5.41 GB/s Streams credits after the write-allocate discount.
+  s.loaded_latency = Duration::nanoseconds(71.0);
+  s.miss_level_parallelism = 8;
+  s.line = DataSize::bytes(64);
+  s.write_allocate = true;
+  return s;
+}
+
+MemorySystemSpec ppe_memory_system() {
+  MemorySystemSpec s;
+  s.name = "PowerXCell 8i PPE (DDR2-800)";
+  const Frequency clk = cal::kCellClock;
+  s.caches = {
+      CacheLevelSpec{"L1D", cal::kPpeL1d, 4, DataSize::bytes(128), clk.cycles(5)},
+      CacheLevelSpec{"L2", cal::kPpeL2, 8, DataSize::bytes(128), clk.cycles(40)},
+  };
+  s.interface_peak = cal::kCellMemBw;
+  s.idle_latency = cal::kAnchorMemLatPpe;
+  // The in-order PPE sustains essentially one demand miss at a time; the
+  // loaded round trip of ~108 ns caps physical traffic near 1.2 GB/s --
+  // hence the paper's conclusion that the PPE "is a bottleneck and is best
+  // used for control functions".
+  s.loaded_latency = Duration::nanoseconds(108.0);
+  s.miss_level_parallelism = 1;
+  s.line = DataSize::bytes(128);
+  s.write_allocate = true;
+  return s;
+}
+
+Bandwidth MemoryModel::sustained_bandwidth() const {
+  const double concurrency_bound =
+      static_cast<double>(spec_.miss_level_parallelism) *
+      static_cast<double>(spec_.line.b()) / spec_.loaded_latency.sec();
+  return Bandwidth::bytes_per_sec(
+      std::min(spec_.interface_peak.bps(), concurrency_bound));
+}
+
+Bandwidth MemoryModel::streams_triad_reported() const {
+  // TRIAD a[i] = b[i] + s*c[i]: Streams credits 3 x 8 bytes per element;
+  // write-allocate hardware moves 4 x 8 (read b, read c, RFO a, writeback a).
+  const double credited = 24.0;
+  const double physical = spec_.write_allocate ? 32.0 : 24.0;
+  return sustained_bandwidth() * (credited / physical);
+}
+
+Duration MemoryModel::memtime_latency(DataSize footprint) const {
+  for (const auto& lvl : spec_.caches)
+    if (footprint <= lvl.capacity) return lvl.hit_latency;
+  return spec_.idle_latency;
+}
+
+Duration MemoryModel::memtime_latency_trace(DataSize footprint, int accesses) const {
+  CacheHierarchy h(spec_.caches, spec_.idle_latency);
+  return memtime_pointer_chase(h, footprint, spec_.line, accesses);
+}
+
+std::vector<MemoryModel::MemtimePoint> MemoryModel::memtime_sweep(
+    DataSize min_fp, DataSize max_fp) const {
+  RR_EXPECTS(min_fp.b() > 0 && min_fp <= max_fp);
+  std::vector<MemtimePoint> out;
+  for (DataSize fp = min_fp; fp <= max_fp; fp = DataSize::bytes(fp.b() * 2))
+    out.push_back(MemtimePoint{fp, memtime_latency(fp)});
+  return out;
+}
+
+Bandwidth spe_local_store_triad() {
+  const spu::SpuPipeline pipe{spu::PipelineSpec::powerxcell_8i()};
+  return spu::triad_local_store_bandwidth(pipe);
+}
+
+Duration spe_local_store_memtime() {
+  // memtime compiled for the SPU: each hop is a dependent chain of the
+  // 6-cycle local-store load plus the address-extraction scalar code the
+  // compiler emits around it (shuffles to select the word, byte ops and
+  // fixed-point arithmetic to form the next quadword address).
+  using namespace spu;
+  const Program hop = {
+      op(IClass::kLS, 1, 7),     // lqd   next pointer word
+      op(IClass::kSHUF, 2, 1),   // rotqby: align the word
+      op(IClass::kFXB, 3, 2),    // byte-granularity extract
+      op(IClass::kSHUF, 4, 3),   // splat to preferred slot
+      op(IClass::kFX3, 5, 4),    // mask/shift
+      op(IClass::kSHUF, 6, 5),   // re-pack into address slot
+      op(IClass::kFX2, 8, 6),    // add base
+      op(IClass::kFX2, 7, 8),    // form quadword address (feeds next lqd)
+  };
+  const SpuPipeline pipe{PipelineSpec::powerxcell_8i()};
+  const double cycles = pipe.steady_cycles_per_iteration(hop);
+  return pipe.to_time(cycles);
+}
+
+}  // namespace rr::mem

@@ -1,0 +1,81 @@
+// Memory-system models for Roadrunner's three processor types and the
+// Streams TRIAD / memtime reproduction (Table III).
+//
+// Sustained streaming bandwidth is modeled as the classic concurrency
+// bound:   BW_sustained = min(interface peak, MLP x line / loaded latency)
+// where MLP is the number of outstanding misses the core can sustain and
+// the loaded latency is the full round trip under streaming pressure.
+// This is why the in-order PPE (MLP ~ 1) reaches only 0.89 GB/s of its
+// 25.6 GB/s interface while the Opteron (MLP 8) reaches 5.41 of 10.7.
+//
+// The SPE row comes from an entirely different mechanism -- issue-limited
+// local-store access -- so it is produced by running the TRIAD kernel on
+// the SPU pipeline simulator (spu/kernels.hpp), not by this bound.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "util/units.hpp"
+
+namespace rr::mem {
+
+struct MemorySystemSpec {
+  std::string name;
+  std::vector<CacheLevelSpec> caches;   ///< empty for the SPE local store
+  Bandwidth interface_peak;             ///< DRAM interface (10.7 / 25.6 GB/s)
+  Duration idle_latency;                ///< pointer-chase latency to DRAM
+  Duration loaded_latency;              ///< round trip under streaming load
+  int miss_level_parallelism = 1;       ///< sustained outstanding misses
+  DataSize line = DataSize::bytes(64);
+  /// Plain stores read the line first (write-allocate), so TRIAD moves
+  /// 4 streams of traffic while Streams credits 3 (Section IV.B context).
+  bool write_allocate = true;
+};
+
+/// Factory presets calibrated in arch/calibration.hpp terms.
+MemorySystemSpec opteron_memory_system();
+MemorySystemSpec ppe_memory_system();
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(MemorySystemSpec spec) : spec_(std::move(spec)) {}
+
+  const MemorySystemSpec& spec() const { return spec_; }
+
+  /// Physical sustained streaming bandwidth (all four TRIAD streams).
+  Bandwidth sustained_bandwidth() const;
+
+  /// What the Streams benchmark *reports* for TRIAD: 24 bytes of credited
+  /// traffic per element over the time implied by the physical traffic
+  /// (32 bytes/element with write-allocate).
+  Bandwidth streams_triad_reported() const;
+
+  /// Analytic memtime: which level a footprint of this size lands in, and
+  /// its latency (one word per line, dependent loads).
+  Duration memtime_latency(DataSize footprint) const;
+
+  /// Trace-driven memtime through a fresh cache hierarchy (validates the
+  /// analytic pick; slower).
+  Duration memtime_latency_trace(DataSize footprint, int accesses = 20000) const;
+
+  /// Full memtime sweep: latency at each footprint (doubling sizes).
+  struct MemtimePoint {
+    DataSize footprint;
+    Duration latency;
+  };
+  std::vector<MemtimePoint> memtime_sweep(DataSize min_fp, DataSize max_fp) const;
+
+ private:
+  MemorySystemSpec spec_;
+};
+
+/// Table III row values for the SPE produced by the SPU pipeline simulator:
+/// TRIAD bandwidth out of local store and memtime-style chase latency
+/// (dependent load + address extraction per hop, compiled-code quality).
+Bandwidth spe_local_store_triad();
+Duration spe_local_store_memtime();
+
+}  // namespace rr::mem

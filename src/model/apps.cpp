@@ -1,0 +1,103 @@
+#include "model/apps.hpp"
+
+#include "spu/kernels.hpp"
+#include "spu/pipeline.hpp"
+
+namespace rr::model {
+
+using spu::IClass;
+using spu::op;
+
+AppKernel vpic_kernel() {
+  // Single-precision particle push: field interpolation + Boris rotation,
+  // all FP6 SIMD with shuffles for the gather; no double precision.
+  AppKernel k;
+  k.name = "VPIC (SP particle-in-cell)";
+  k.paper_speedup = 1.0;
+  spu::Program& p = k.inner_loop;
+  p.push_back(op(IClass::kLS, 100, 9));      // load particle
+  p.push_back(op(IClass::kSHUF, 101, 100));  // unpack position
+  p.push_back(op(IClass::kLS, 102, 101));    // gather field
+  int chain = 102;
+  for (int i = 0; i < 9; ++i) {              // interpolation + rotation FMAs
+    p.push_back(op(IClass::kFP6, 32 + i, chain, 8, 8));
+    chain = 32 + i;
+  }
+  p.push_back(op(IClass::kSHUF, 103, chain));
+  p.push_back(op(IClass::kLS, -1, 103));     // store particle (dep via src)
+  p.push_back(op(IClass::kFX2, 9, 9));       // advance pointer
+  p.push_back(op(IClass::kBR, -1));
+  return k;
+}
+
+AppKernel spasm_kernel() {
+  // DP Lennard-Jones-style force evaluation over a neighbor strip: per
+  // neighbor a gathered load feeding a short FPD chain, plus a
+  // loop-carried force accumulation.  Gather/scatter traffic on the odd
+  // pipe dilutes the FPD stall penalty on the Cell BE.
+  AppKernel k;
+  k.name = "SPaSM (DP molecular dynamics)";
+  k.paper_speedup = 1.5;
+  spu::Program& p = k.inner_loop;
+  int acc = 120;  // force accumulator carried across iterations
+  for (int nb = 0; nb < 4; ++nb) {
+    const int base = 32 + nb * 8;
+    p.push_back(op(IClass::kLS, base, 9));           // load neighbor
+    p.push_back(op(IClass::kSHUF, base + 1, base));  // unpack
+    p.push_back(op(IClass::kFPD, base + 2, base + 1, 8, 8));  // dx, r2
+    p.push_back(op(IClass::kFPD, base + 3, base + 2, 8, 8));  // pair force
+    p.push_back(op(IClass::kFPD, 120, base + 3, 120, 8));     // accumulate
+    p.push_back(op(IClass::kFX2, 10 + nb, 9));       // neighbor index
+  }
+  p.push_back(op(IClass::kLS, -1, acc));  // scatter force
+  p.push_back(op(IClass::kBR, -1));
+  return k;
+}
+
+AppKernel milagro_kernel() {
+  // Implicit Monte Carlo: DP opacity/path arithmetic with table lookups
+  // and branchy event selection; a medium FPD chain per event.
+  AppKernel k;
+  k.name = "Milagro (DP implicit Monte Carlo)";
+  k.paper_speedup = 1.5;
+  spu::Program& p = k.inner_loop;
+  p.push_back(op(IClass::kLS, 100, 9));       // opacity table lookup
+  p.push_back(op(IClass::kSHUF, 101, 100));
+  int chain = 101;
+  for (int i = 0; i < 5; ++i) {               // distance/energy updates
+    p.push_back(op(IClass::kFPD, 32 + i, chain, 8, 8));
+    chain = 32 + i;
+  }
+  // Independent per-group absorption/scattering probabilities (throughput
+  // FPD work that the Cell BE's global stall cannot hide).
+  for (int i = 0; i < 3; ++i) p.push_back(op(IClass::kFPD, 48 + i, 8, 8, 8));
+  p.push_back(op(IClass::kFX3, 102, chain));  // event compare
+  p.push_back(op(IClass::kBR, -1, 102));      // event branch
+  p.push_back(op(IClass::kLS, 103, 9));       // tally load
+  p.push_back(op(IClass::kFPD, 104, 103, chain, 8));  // tally update
+  p.push_back(op(IClass::kLS, -1, 104));      // tally store
+  p.push_back(op(IClass::kFX2, 9, 9));
+  p.push_back(op(IClass::kBR, -1));
+  return k;
+}
+
+AppKernel sweep3d_kernel() {
+  AppKernel k;
+  k.name = "Sweep3D (DP wavefront transport)";
+  k.paper_speedup = 1.9;
+  k.inner_loop = spu::make_sweep_cell_body();
+  return k;
+}
+
+double pxc_speedup(const AppKernel& kernel) {
+  const spu::SpuPipeline pxc{spu::PipelineSpec::powerxcell_8i()};
+  const spu::SpuPipeline cbe{spu::PipelineSpec::cell_be()};
+  return cbe.steady_cycles_per_iteration(kernel.inner_loop) /
+         pxc.steady_cycles_per_iteration(kernel.inner_loop);
+}
+
+std::vector<AppKernel> all_app_kernels() {
+  return {vpic_kernel(), spasm_kernel(), milagro_kernel(), sweep3d_kernel()};
+}
+
+}  // namespace rr::model

@@ -1,0 +1,284 @@
+#include "model/sweep_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/calibration.hpp"
+#include "comm/channel.hpp"
+#include "comm/fabric.hpp"
+#include "comm/path.hpp"
+#include "spu/kernels.hpp"
+#include "sweep/quadrature.hpp"
+#include "sweep/schedule.hpp"
+#include "util/expect.hpp"
+
+namespace rr::model {
+
+namespace cal = rr::arch::cal;
+
+namespace {
+
+// Software-expansion factor over the idealized SPU inner-loop kernel:
+// negative-flux fixup passes, I-line setup, flux moment accumulation, and
+// non-overlapped DMA waits.  Calibrated ONCE so that Table IV's measured
+// 0.19 s (PowerXCell 8i, 50^3 per SPE, MK=10, 8 SPEs) is reproduced; every
+// other Sweep3D number in the reproduction is then a model output.
+constexpr double kKappa = 3.874;
+
+// Host-core per-(cell,angle) times, calibrated to the Fig. 12 relations
+// ("a single SPE ... comparable to a single core of the Intel and AMD
+// processors"); socket contention reflects shared memory bandwidth.
+constexpr double kOpteron1800CellAngleNs = 26.0;
+constexpr double kOpteronQuad2000CellAngleNs = 23.0;
+constexpr double kTigertonCellAngleNs = 18.0;
+constexpr double kDualSocketContention = 1.10;
+constexpr double kQuadSocketContention = 1.15;
+constexpr double kTigertonSocketContention = 1.25;  // shared front-side bus
+
+// Early-software per-step overhead on the Cell runs beyond the raw path
+// time: flow control and multiple buffering in CML-over-DaCS (Section VI.A
+// explains why the peak PCIe numbers are not realized in practice).
+constexpr Duration kEarlyStackPerSurface = Duration::microseconds(10.0);
+
+// Best-case exposure: with a mature stack the surface transfer overlaps
+// the next block's compute and only the path latency is exposed.
+constexpr Duration kBestExposedPerSurface = Duration::microseconds(4.2);
+
+// Master/worker reconstruction (Table IV "previous"): each pencil work
+// unit costs a serialized PPE mailbox round trip + DMA setup.
+constexpr Duration kDispatchOverhead = Duration::microseconds(3.0);
+
+Duration spe_cell_angle(arch::CellVariant variant, bool optimized) {
+  const spu::SpuPipeline pipe{spu::PipelineSpec::for_variant(variant)};
+  const double cycles_per_cell = optimized ? spu::sweep_cell_cycles(pipe)
+                                           : spu::sweep_cell_cycles_scalar(pipe);
+  const double cycles_per_ca = kKappa * cycles_per_cell / sweep::kAnglesPerOctant;
+  return pipe.spec().clock.cycles(cycles_per_ca);
+}
+
+}  // namespace
+
+SweepCompute spe_compute(arch::CellVariant variant) {
+  SweepCompute c;
+  c.name = variant == arch::CellVariant::kPowerXCell8i ? "PowerXCell 8i SPE"
+                                                       : "Cell BE SPE";
+  c.per_cell_angle = spe_cell_angle(variant, /*optimized=*/true);
+  c.socket_contention = 1.0;  // local store: no shared-memory pressure
+  return c;
+}
+
+SweepCompute spe_compute_previous(arch::CellVariant variant) {
+  SweepCompute c;
+  c.name = "SPE (previous master/worker code)";
+  c.per_cell_angle = spe_cell_angle(variant, /*optimized=*/false);
+  c.socket_contention = 1.0;
+  return c;
+}
+
+SweepCompute opteron_1800_compute() {
+  return SweepCompute{"Opteron 1.8 GHz core",
+                      Duration::nanoseconds(kOpteron1800CellAngleNs),
+                      kDualSocketContention};
+}
+
+SweepCompute opteron_quad_2000_compute() {
+  return SweepCompute{"Opteron 2.0 GHz quad core",
+                      Duration::nanoseconds(kOpteronQuad2000CellAngleNs),
+                      kQuadSocketContention};
+}
+
+SweepCompute tigerton_2930_compute() {
+  return SweepCompute{"Tigerton 2.93 GHz core",
+                      Duration::nanoseconds(kTigertonCellAngleNs),
+                      kTigertonSocketContention};
+}
+
+Duration comm_per_step(CommMode mode, DataSize surface_x, DataSize surface_y) {
+  switch (mode) {
+    case CommMode::kIntraSocketEib: {
+      const comm::ChannelModel eib{comm::cml_eib()};
+      return eib.one_way(surface_x) + eib.one_way(surface_y);
+    }
+    case CommMode::kMeasuredEarly: {
+      // Internode Cell-to-Cell path, all pairs active (Fig. 7), plus the
+      // early-stack handling overhead.
+      const comm::PathModel path = comm::cell_to_cell_allpairs();
+      return path.one_way(surface_x) + path.one_way(surface_y) +
+             kEarlyStackPerSurface * 2;
+    }
+    case CommMode::kBestPcie:
+      return kBestExposedPerSurface * 2;
+    case CommMode::kOpteronMpi: {
+      const comm::ChannelModel mpi{
+          comm::with_hops(comm::mpi_infiniband_default_params(), 3)};
+      return mpi.one_way(surface_x) + mpi.one_way(surface_y);
+    }
+    case CommMode::kSharedMemory: {
+      const Duration lat = Duration::microseconds(1.0);
+      const Bandwidth bw = Bandwidth::gb_per_sec(3.0);
+      return lat * 2 + transfer_time(surface_x, bw) + transfer_time(surface_y, bw);
+    }
+  }
+  RR_ASSERT(false);
+  return Duration::zero();
+}
+
+IterationEstimate estimate_iteration(const SweepWorkload& w, int px, int py,
+                                     const SweepCompute& compute, CommMode mode) {
+  RR_EXPECTS(px >= 1 && py >= 1);
+  RR_EXPECTS(w.kt % w.mk == 0);
+
+  sweep::ScheduleParams sp;
+  sp.px = px;
+  sp.py = py;
+  sp.k_blocks = w.kt / w.mk;
+  sp.angle_blocks = 1;  // all six angles of an octant per block (MMI = 6)
+  sp.octants = 8;
+
+  IterationEstimate est;
+  est.steps = sweep::total_steps(sp);
+
+  const std::int64_t block_ca =
+      static_cast<std::int64_t>(w.it) * w.jt * w.mk * w.angles;
+  const double contention = px * py > 1 ? compute.socket_contention : 1.0;
+  est.block_compute = compute.per_cell_angle * block_ca * contention;
+
+  if (px * py == 1) {
+    est.comm_exposed = Duration::zero();
+  } else {
+    const DataSize sx =
+        DataSize::bytes(static_cast<std::int64_t>(w.jt) * w.mk * w.angles * 8);
+    const DataSize sy =
+        DataSize::bytes(static_cast<std::int64_t>(w.it) * w.mk * w.angles * 8);
+    est.comm_exposed = comm_per_step(mode, sx, sy);
+  }
+  est.total = (est.block_compute + est.comm_exposed) * est.steps;
+  return est;
+}
+
+std::pair<int, int> choose_grid(int ranks) {
+  RR_EXPECTS(ranks >= 1);
+  for (int py = static_cast<int>(std::sqrt(static_cast<double>(ranks))); py >= 1; --py)
+    if (ranks % py == 0) return {ranks / py, py};
+  return {ranks, 1};
+}
+
+TableIvResult table_iv() {
+  SweepWorkload w;
+  w.it = w.jt = w.kt = 50;
+  w.mk = 10;
+
+  const auto [px, py] = choose_grid(8);  // one full socket: 8 SPEs
+  TableIvResult r;
+  r.ours_pxc_s = estimate_iteration(w, px, py,
+                                    spe_compute(arch::CellVariant::kPowerXCell8i),
+                                    CommMode::kIntraSocketEib)
+                     .total.sec();
+  r.ours_cbe_s = estimate_iteration(w, px, py,
+                                    spe_compute(arch::CellVariant::kCellBe),
+                                    CommMode::kIntraSocketEib)
+                     .total.sec();
+
+  // Previous implementation (master/worker, pencil work units, no SIMD /
+  // pipe interleaving): no wavefront pipelining, plus the serialized
+  // dispatch overhead.
+  const SweepCompute prev = spe_compute_previous(arch::CellVariant::kCellBe);
+  const std::int64_t ca_per_spe =
+      static_cast<std::int64_t>(w.it) * w.jt * w.kt * w.angles * 8;  // 8 octants
+  const Duration compute = prev.per_cell_angle * ca_per_spe;
+  r.prev_cbe_s = (compute + master_worker_overhead(w, 8)).sec();
+  return r;
+}
+
+Duration master_worker_overhead(const SweepWorkload& w, int spes) {
+  RR_EXPECTS(spes >= 1);
+  // One pencil per (j, k) column per octant, dispatched serially by the PPE.
+  const std::int64_t pencils = static_cast<std::int64_t>(w.jt) * w.kt;
+  const std::int64_t dispatches = pencils * 8 * spes;
+  return kDispatchOverhead * dispatches;
+}
+
+std::vector<Fig12Row> figure12_rows() {
+  const SweepWorkload per_core;  // 5x5x400, MK=20
+
+  struct SocketDef {
+    std::string name;
+    SweepCompute compute;
+    int ranks;
+    int px, py;
+    CommMode mode;
+  };
+  const std::vector<SocketDef> defs = {
+      {"PowerXCell 8i (8 SPEs)", spe_compute(arch::CellVariant::kPowerXCell8i), 8,
+       4, 2, CommMode::kIntraSocketEib},
+      {"Opteron dual-core 1.8 GHz", opteron_1800_compute(), 2, 2, 1,
+       CommMode::kSharedMemory},
+      {"Opteron quad-core 2.0 GHz", opteron_quad_2000_compute(), 4, 2, 2,
+       CommMode::kSharedMemory},
+      {"Tigerton quad-core 2.93 GHz", tigerton_2930_compute(), 4, 2, 2,
+       CommMode::kSharedMemory},
+  };
+
+  std::vector<Fig12Row> rows;
+  for (const auto& def : defs) {
+    Fig12Row row;
+    row.processor = def.name;
+    row.single_core_ms =
+        estimate_iteration(per_core, 1, 1, def.compute, def.mode).total.ms();
+    const IterationEstimate socket =
+        estimate_iteration(per_core, def.px, def.py, def.compute, def.mode);
+    row.socket_ms = socket.total.ms();
+    row.socket_ranks = def.ranks;
+    const double cells = static_cast<double>(def.ranks) * per_core.it * per_core.jt *
+                         per_core.kt;
+    row.socket_cells_per_s = cells / socket.total.sec();
+    rows.push_back(row);
+  }
+  for (auto& row : rows)
+    row.spe_socket_advantage = rows[0].socket_cells_per_s / row.socket_cells_per_s;
+  return rows;
+}
+
+ScalePoint scale_point(int nodes, const SweepWorkload& w) {
+  RR_EXPECTS(nodes >= 1);
+  ScalePoint pt;
+  pt.nodes = nodes;
+
+  // Accelerated runs: one rank per SPE, 32 per node.
+  const int cell_ranks = 32 * nodes;
+  const auto [cpx, cpy] = choose_grid(cell_ranks);
+  const SweepCompute pxc = spe_compute(arch::CellVariant::kPowerXCell8i);
+  const CommMode cell_measured =
+      nodes == 1 ? CommMode::kIntraSocketEib : CommMode::kMeasuredEarly;
+  const CommMode cell_best =
+      nodes == 1 ? CommMode::kIntraSocketEib : CommMode::kBestPcie;
+  pt.cell_measured_s = estimate_iteration(w, cpx, cpy, pxc, cell_measured).total.sec();
+  pt.cell_best_s = estimate_iteration(w, cpx, cpy, pxc, cell_best).total.sec();
+
+  // Non-accelerated runs: same global problem, one rank per Opteron core
+  // (4 per node), so each rank holds 8x the cells (2x in I, 4x in J).
+  SweepWorkload wo = w;
+  wo.it = w.it * 2;
+  wo.jt = w.jt * 4;
+  const int opteron_ranks = 4 * nodes;
+  const auto [opx, opy] = choose_grid(opteron_ranks);
+  const CommMode opteron_mode =
+      nodes == 1 ? CommMode::kSharedMemory : CommMode::kOpteronMpi;
+  pt.opteron_s =
+      estimate_iteration(wo, opx, opy, opteron_1800_compute(), opteron_mode)
+          .total.sec();
+  return pt;
+}
+
+std::vector<ScalePoint> figure13_series(const std::vector<int>& node_counts) {
+  std::vector<ScalePoint> out;
+  out.reserve(node_counts.size());
+  for (const int n : node_counts) out.push_back(scale_point(n));
+  return out;
+}
+
+std::vector<int> paper_node_counts() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3060};
+}
+
+}  // namespace rr::model

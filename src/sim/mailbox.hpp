@@ -1,0 +1,95 @@
+// Simulated-time mailboxes (unbounded FIFO channels) for coroutine tasks.
+//
+// A Mailbox<T> decouples senders and receivers inside one Simulator.
+// send() is non-blocking; receive() returns an awaitable that suspends the
+// receiving task until a message is available.  Delivery is FIFO on both
+// sides: messages in arrival order, waiting receivers in wait order.  A
+// message destined for a waiting receiver is handed to it directly, so no
+// later receiver can overtake it.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+
+namespace rr::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator& sim) : sim_(&sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposit a message.  If a receiver is waiting, the message is assigned
+  /// to the oldest one and its resumption is scheduled as a zero-delay
+  /// event (so wakeups interleave deterministically with other events).
+  void send(T msg) {
+    if (!waiters_.empty()) {
+      Awaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot = std::move(msg);
+      const std::coroutine_handle<> h = w->handle;
+      sim_->schedule(Duration::zero(), [h] { h.resume(); });
+      return;
+    }
+    queue_.push_back(std::move(msg));
+  }
+
+  /// Awaitable blocking receive.
+  auto receive() { return Awaiter{this, {}, {}}; }
+
+  /// Non-blocking receive (only sees queued messages, never steals from a
+  /// waiting receiver because assigned messages bypass the queue).
+  std::optional<T> try_receive() {
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  std::size_t size() const { return queue_.size(); }
+  bool has_waiters() const { return !waiters_.empty(); }
+
+ private:
+  struct Awaiter {
+    Mailbox* box;
+    std::coroutine_handle<> handle;
+    std::optional<T> slot;
+
+    Awaiter(Mailbox* b, std::coroutine_handle<> h, std::optional<T> s)
+        : box(b), handle(h), slot(std::move(s)) {}
+    Awaiter(Awaiter&&) = delete;
+    Awaiter& operator=(Awaiter&&) = delete;
+    // If a blocked task is destroyed (e.g. a deadlocked program being torn
+    // down), deregister so the mailbox never resumes a dead coroutine.
+    ~Awaiter() { std::erase(box->waiters_, this); }
+
+    bool await_ready() {
+      // Only take from the queue if no earlier receiver is still waiting
+      // (preserves FIFO fairness among receivers).
+      if (!box->waiters_.empty() || box->queue_.empty()) return false;
+      slot = std::move(box->queue_.front());
+      box->queue_.pop_front();
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      box->waiters_.push_back(this);
+    }
+    T await_resume() {
+      RR_ASSERT(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+
+  Simulator* sim_;
+  std::deque<T> queue_;
+  std::deque<Awaiter*> waiters_;
+};
+
+}  // namespace rr::sim

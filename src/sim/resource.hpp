@@ -1,0 +1,80 @@
+// Awaitable counted resource (FIFO semaphore) for modeling shared hardware:
+// links, DMA engines, switch ports.  Tasks acquire a token, hold it for a
+// simulated duration (the transfer time), and release it; contention then
+// emerges naturally from queueing.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/expect.hpp"
+
+namespace rr::sim {
+
+class Resource {
+ public:
+  Resource(Simulator& sim, std::size_t capacity) : sim_(&sim), available_(capacity) {
+    RR_EXPECTS(capacity > 0);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct Awaiter {
+    Resource* res;
+    std::coroutine_handle<> handle;
+
+    explicit Awaiter(Resource* r) : res(r) {}
+    Awaiter(Awaiter&&) = delete;
+    Awaiter& operator=(Awaiter&&) = delete;
+    // Deregister if a blocked task is destroyed while queued.
+    ~Awaiter() { std::erase(res->waiters_, this); }
+
+    bool await_ready() {
+      if (res->waiters_.empty() && res->available_ > 0) {
+        --res->available_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      res->waiters_.push_back(this);
+    }
+    void await_resume() {}
+  };
+
+  /// Awaitable acquire of one token (FIFO among waiters).
+  auto acquire() { return Awaiter{this}; }
+
+  /// Return one token; wakes the oldest waiter if any.
+  void release() {
+    if (!waiters_.empty()) {
+      Awaiter* w = waiters_.front();
+      waiters_.pop_front();
+      // Token passes directly to the waiter; available_ stays unchanged.
+      const std::coroutine_handle<> h = w->handle;
+      sim_->schedule(Duration::zero(), [h] { h.resume(); });
+      return;
+    }
+    ++available_;
+  }
+
+  /// Convenience: acquire, hold for `hold_time`, release.
+  Task<void> use_for(Duration hold_time) {
+    co_await acquire();
+    co_await Delay{*sim_, hold_time};
+    release();
+  }
+
+  std::size_t available() const { return available_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::size_t available_;
+  std::deque<Awaiter*> waiters_;
+};
+
+}  // namespace rr::sim

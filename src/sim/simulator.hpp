@@ -1,0 +1,116 @@
+// Discrete-event simulation engine.
+//
+// The engine is a classic calendar queue: events are (time, sequence,
+// callback) triples ordered by time then by insertion sequence, so
+// same-time events fire in a deterministic FIFO order.  Simulated time is
+// integer picoseconds (rr::TimePoint), which makes runs bit-reproducible.
+//
+// Two programming styles are supported:
+//   * callback style: sim.schedule(delay, fn)
+//   * coroutine style (sim/task.hpp): co_await sim.delay(d), mailboxes, ...
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace rr::sim {
+
+/// Human-readable engine identifier.
+const char* engine_name();
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after now.  Returns an event id usable
+  /// with cancel().
+  std::uint64_t schedule(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `when` (must not be in the past).
+  std::uint64_t schedule_at(TimePoint when, std::function<void()> fn) {
+    RR_EXPECTS(when >= now_);
+    const std::uint64_t id = next_seq_++;
+    queue_.push(Event{when, id, std::move(fn)});
+    return id;
+  }
+
+  /// Cancel a pending event.  Safe to call for already-fired ids (no-op).
+  void cancel(std::uint64_t id) { cancelled_.push_back(id); }
+
+  /// Run one event.  Returns false if the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (is_cancelled(ev.seq)) continue;
+      RR_ASSERT(ev.at >= now_);
+      now_ = ev.at;
+      ++events_run_;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the event queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run until simulated time would exceed `deadline`; events at exactly
+  /// `deadline` still fire.  Time is advanced to `deadline` on return if
+  /// the queue drained earlier.
+  void run_until(TimePoint deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  std::uint64_t events_run() const { return events_run_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  bool is_cancelled(std::uint64_t id) {
+    for (std::size_t i = 0; i < cancelled_.size(); ++i) {
+      if (cancelled_[i] == id) {
+        cancelled_[i] = cancelled_.back();
+        cancelled_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;
+};
+
+}  // namespace rr::sim

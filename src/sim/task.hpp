@@ -1,0 +1,227 @@
+// C++20 coroutine layer over the discrete-event simulator.
+//
+// A sim::Task<T> is a lazily-started coroutine whose suspensions are
+// simulated-time waits.  Tasks compose: `co_await subtask()` transfers
+// control and resumes the parent when the child finishes (at the child's
+// finish *simulated* time).  Top-level tasks are launched with
+// sim::spawn(simulator, task) and owned by the simulator's task registry
+// until completion.
+//
+// Awaitables:
+//   co_await Delay{sim, d}        -- sleep for simulated duration d
+//   co_await mailbox.receive()    -- blocking receive (sim/mailbox.hpp)
+//   co_await other_task           -- join a child task, yielding its value
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+
+namespace rr::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed at final_suspend
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      PromiseBase& promise = h.promise();
+      if (promise.continuation) return promise.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+/// Lazily-started coroutine handle with single-consumer join semantics.
+template <typename T>
+class Task {
+ public:
+  using promise_type = detail::Promise<T>;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Start the coroutine immediately (used by spawn and by co_await).
+  void start() {
+    RR_EXPECTS(handle_ && !started_);
+    started_ = true;
+    handle_.resume();
+  }
+
+  /// Awaiting a task starts it and suspends the awaiter until completion.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const { return child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer: start the child now
+      }
+      T await_resume() {
+        if (child.promise().exception) std::rethrow_exception(child.promise().exception);
+        if constexpr (!std::is_void_v<T>) {
+          RR_ASSERT(child.promise().value.has_value());
+          return std::move(*child.promise().value);
+        }
+      }
+    };
+    RR_EXPECTS(handle_);
+    started_ = true;
+    return Awaiter{handle_};
+  }
+
+  /// Retrieve the result after completion (spawned-task path).
+  T result() const
+    requires(!std::is_void_v<T>)
+  {
+    RR_EXPECTS(done());
+    if (handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+    return *handle_.promise().value;
+  }
+
+  void rethrow_if_failed() const {
+    RR_EXPECTS(done());
+    if (handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+  bool started_ = false;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+/// Awaitable simulated-time sleep.
+class Delay {
+ public:
+  Delay(Simulator& sim, Duration d) : sim_(&sim), d_(d) {}
+  bool await_ready() const { return d_ == Duration::zero(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_->schedule(d_, [h] { h.resume(); });
+  }
+  void await_resume() {}
+
+ private:
+  Simulator* sim_;
+  Duration d_;
+};
+
+/// Registry that owns detached top-level tasks until they complete.
+/// One registry per simulation scenario; it must outlive the simulator run.
+class TaskRegistry {
+ public:
+  explicit TaskRegistry(Simulator& sim) : sim_(&sim) {}
+
+  /// Launch a top-level task.  The registry keeps it alive; completed tasks
+  /// are reaped lazily on subsequent spawns and on drain().
+  void spawn(Task<void> task) {
+    reap();
+    tasks_.push_back(std::make_unique<Task<void>>(std::move(task)));
+    tasks_.back()->start();
+  }
+
+  /// Run the simulator until all events fire, then verify every spawned
+  /// task completed (i.e. no task deadlocked waiting on a message).
+  /// Returns the number of completed tasks.
+  std::size_t drain() {
+    sim_->run();
+    std::size_t done = reaped_;
+    for (const auto& t : tasks_) {
+      if (t->done()) {
+        t->rethrow_if_failed();
+        ++done;
+      }
+    }
+    return done;
+  }
+
+  std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const auto& t : tasks_)
+      if (!t->done()) ++n;
+    return n;
+  }
+  std::size_t spawned_count() const { return tasks_.size() + reaped_; }
+
+  Simulator& simulator() { return *sim_; }
+
+ private:
+  void reap() {
+    std::erase_if(tasks_, [this](const std::unique_ptr<Task<void>>& t) {
+      if (!t->done()) return false;
+      t->rethrow_if_failed();  // surface failures even from reaped tasks
+      ++reaped_;
+      return true;
+    });
+  }
+
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Task<void>>> tasks_;
+  std::size_t reaped_ = 0;
+};
+
+}  // namespace rr::sim

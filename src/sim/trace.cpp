@@ -1,0 +1,82 @@
+#include "sim/trace.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "util/expect.hpp"
+
+namespace rr::sim {
+
+TraceRecorder::SpanId TraceRecorder::begin(std::string name, std::string track,
+                                           TimePoint start) {
+  events_.push_back(Event{std::move(name), std::move(track), start.ps(), -1, false});
+  return events_.size() - 1;
+}
+
+void TraceRecorder::end(SpanId id, TimePoint finish) {
+  RR_EXPECTS(id < events_.size());
+  Event& ev = events_[id];
+  RR_EXPECTS(!ev.is_instant);
+  RR_EXPECTS(ev.end_ps == -1);
+  RR_EXPECTS(finish.ps() >= ev.start_ps);
+  ev.end_ps = finish.ps();
+}
+
+void TraceRecorder::instant(std::string name, std::string track, TimePoint at) {
+  events_.push_back(Event{std::move(name), std::move(track), at.ps(), at.ps(), true});
+}
+
+std::size_t TraceRecorder::open_spans() const {
+  std::size_t n = 0;
+  for (const Event& ev : events_)
+    if (!ev.is_instant && ev.end_ps == -1) ++n;
+  return n;
+}
+
+namespace {
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  // Tracks map to (pid=1, tid=k) with thread_name metadata.
+  std::map<std::string, int> track_ids;
+  for (const Event& ev : events_)
+    track_ids.emplace(ev.track, static_cast<int>(track_ids.size()) + 1);
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : track_ids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(os, track);
+    os << "\"}}";
+  }
+  for (const Event& ev : events_) {
+    const int tid = track_ids.at(ev.track);
+    const double start_us = static_cast<double>(ev.start_ps) * 1e-6;
+    os << ",";
+    if (ev.is_instant) {
+      os << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << start_us
+         << ",\"s\":\"t\",\"name\":\"";
+      json_escape(os, ev.name);
+      os << "\"}";
+    } else {
+      const std::int64_t end_ps = ev.end_ps == -1 ? ev.start_ps : ev.end_ps;
+      const double dur_us = static_cast<double>(end_ps - ev.start_ps) * 1e-6;
+      os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << start_us
+         << ",\"dur\":" << dur_us << ",\"name\":\"";
+      json_escape(os, ev.name);
+      os << "\"}";
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,62 @@
+#include "spu/dma.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace rr::spu {
+
+DataSize LocalStore::sweep_block_bytes(int i, int j, int k_block, int angles,
+                                       bool double_buffered) {
+  RR_EXPECTS(i > 0 && j > 0 && k_block > 0 && angles > 0);
+  // Per cell: `angles` double-precision angular fluxes plus cross sections,
+  // source and geometry coefficients (~8 doubles shared across angles).
+  const std::int64_t cells = static_cast<std::int64_t>(i) * j * k_block;
+  const std::int64_t per_cell = 8 * (angles + 8);
+  std::int64_t bytes = cells * per_cell;
+  // Boundary surfaces held during the block computation.
+  bytes += 8 * angles *
+           (static_cast<std::int64_t>(i) * j + static_cast<std::int64_t>(i) * k_block +
+            static_cast<std::int64_t>(j) * k_block);
+  if (double_buffered) bytes *= 2;
+  // Code + stack + runtime reserve.
+  bytes += 48 * 1024;
+  return DataSize::bytes(bytes);
+}
+
+bool LocalStore::sweep_block_fits(int i, int j, int k_block, int angles,
+                                  bool double_buffered) {
+  return sweep_block_bytes(i, j, k_block, angles, double_buffered) <= kCapacity;
+}
+
+int LocalStore::max_k_block(int i, int j, int angles, bool double_buffered) {
+  int best = 0;
+  for (int k = 1; k <= 4096; ++k) {
+    if (sweep_block_fits(i, j, k, angles, double_buffered)) best = k;
+    else break;
+  }
+  return best;
+}
+
+Duration DmaEngine::transfer_time(DataSize size, int concurrent_spes) const {
+  RR_EXPECTS(size.b() >= 0);
+  RR_EXPECTS(concurrent_spes >= 1);
+  if (size.b() == 0) return params_.command_setup;
+  const std::int64_t commands =
+      (size.b() + params_.max_transfer.b() - 1) / params_.max_transfer.b();
+  // Setup pipelines across queued commands: charge full setup for the
+  // first command and a small fixed issue cost for the rest.
+  const Duration issue_rest = Duration::nanoseconds(30) * (commands - 1);
+  return params_.command_setup + issue_rest +
+         rr::transfer_time(size, effective_bandwidth(concurrent_spes));
+}
+
+Bandwidth DmaEngine::effective_bandwidth(int concurrent_spes) const {
+  RR_EXPECTS(concurrent_spes >= 1);
+  const double mem_share = params_.memory_interface.bps() / concurrent_spes;
+  const double eib_share = params_.eib_aggregate.bps() / concurrent_spes;
+  return Bandwidth::bytes_per_sec(std::min({mem_share, eib_share,
+                                            params_.memory_interface.bps()}));
+}
+
+}  // namespace rr::spu

@@ -1,0 +1,60 @@
+// Local store and DMA/EIB timing models (Section II.A, IV.B).
+//
+// Each SPE addresses only its 256 KB local store; main memory is reached
+// through explicit DMA over the Element Interconnect Bus (EIB).  The DMA
+// engine moves up to 16 KB per command; the EIB carries 96 bytes/cycle
+// aggregate at half the core clock; the memory interface sustains at most
+// 25.6 GB/s for the whole socket.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace rr::spu {
+
+/// Local-store capacity bookkeeping: does a working set fit?
+class LocalStore {
+ public:
+  static constexpr DataSize kCapacity = DataSize::kib(256);
+
+  /// Bytes of local store consumed by a Sweep3D work block of
+  /// i x j x k_block cells with `angles` angles of double-precision flux,
+  /// double-buffered (in-flight DMA + compute), plus code/stack reserve.
+  static DataSize sweep_block_bytes(int i, int j, int k_block, int angles,
+                                    bool double_buffered = true);
+
+  /// True if the block (plus reserve) fits in 256 KB.
+  static bool sweep_block_fits(int i, int j, int k_block, int angles,
+                               bool double_buffered = true);
+
+  /// Largest MK-blocked K extent that fits for given I x J x angles.
+  static int max_k_block(int i, int j, int angles, bool double_buffered = true);
+};
+
+/// DMA engine + EIB + memory-interface timing for one SPE's transfers.
+struct DmaParams {
+  Duration command_setup = Duration::nanoseconds(200);  ///< issue + tag wait
+  DataSize max_transfer = DataSize::kib(16);            ///< per DMA command
+  Bandwidth memory_interface = Bandwidth::gb_per_sec(25.6);
+  /// EIB aggregate: 96 bytes/cycle at half the 3.2 GHz core clock.
+  Bandwidth eib_aggregate = Bandwidth::gb_per_sec(96.0 * 1.6);
+};
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(DmaParams params = {}) : params_(params) {}
+
+  const DmaParams& params() const { return params_; }
+
+  /// Time for one SPE to move `size` between local store and main memory
+  /// while `concurrent_spes` SPEs are doing the same (they share the
+  /// memory interface; the EIB itself rarely limits).
+  Duration transfer_time(DataSize size, int concurrent_spes = 1) const;
+
+  /// Effective per-SPE bandwidth under contention.
+  Bandwidth effective_bandwidth(int concurrent_spes) const;
+
+ private:
+  DmaParams params_;
+};
+
+}  // namespace rr::spu

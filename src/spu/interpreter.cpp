@@ -1,0 +1,258 @@
+#include "spu/interpreter.hpp"
+
+#include "util/expect.hpp"
+
+namespace rr::spu {
+
+IClass iclass_of(Op op) {
+  switch (op) {
+    case Op::kLqd:
+    case Op::kStqd:
+      return IClass::kLS;
+    case Op::kFmaD:
+    case Op::kFaD:
+    case Op::kFmD:
+      return IClass::kFPD;
+    case Op::kFmaS:
+      return IClass::kFP6;
+    case Op::kIl:
+    case Op::kAi:
+    case Op::kIlD:
+      return IClass::kFX2;
+    case Op::kSplatD:
+    case Op::kRotqbyi:
+      return IClass::kSHUF;
+    case Op::kBrnz:
+    case Op::kStop:
+      return IClass::kBR;
+  }
+  return IClass::kFX2;
+}
+
+namespace {
+std::uint8_t r8(int r) {
+  RR_EXPECTS(r >= 0 && r < kNumRegisters);
+  return static_cast<std::uint8_t>(r);
+}
+}  // namespace
+
+MicroInstr lqd(int dst, int ra, int imm) { return {Op::kLqd, r8(dst), r8(ra), 0, 0, imm, 0}; }
+MicroInstr stqd(int rs, int ra, int imm) { return {Op::kStqd, 0, r8(ra), r8(rs), 0, imm, 0}; }
+MicroInstr fma_d(int dst, int ra, int rb, int rc) {
+  return {Op::kFmaD, r8(dst), r8(ra), r8(rb), r8(rc), 0, 0};
+}
+MicroInstr fa_d(int dst, int ra, int rb) { return {Op::kFaD, r8(dst), r8(ra), r8(rb), 0, 0, 0}; }
+MicroInstr fm_d(int dst, int ra, int rb) { return {Op::kFmD, r8(dst), r8(ra), r8(rb), 0, 0, 0}; }
+MicroInstr fma_s(int dst, int ra, int rb, int rc) {
+  return {Op::kFmaS, r8(dst), r8(ra), r8(rb), r8(rc), 0, 0};
+}
+MicroInstr il(int dst, std::int32_t value) { return {Op::kIl, r8(dst), 0, 0, 0, value, 0}; }
+MicroInstr il_d(int dst, double value) { return {Op::kIlD, r8(dst), 0, 0, 0, 0, value}; }
+MicroInstr ai(int dst, int ra, std::int32_t value) {
+  return {Op::kAi, r8(dst), r8(ra), 0, 0, value, 0};
+}
+MicroInstr splat_d(int dst, int ra, int lane) {
+  return {Op::kSplatD, r8(dst), r8(ra), 0, 0, lane, 0};
+}
+MicroInstr rotqbyi(int dst, int ra, int bytes) {
+  return {Op::kRotqbyi, r8(dst), r8(ra), 0, 0, bytes, 0};
+}
+MicroInstr brnz(int ra, int target_index) {
+  return {Op::kBrnz, 0, r8(ra), 0, 0, target_index, 0};
+}
+MicroInstr stop() { return {Op::kStop, 0, 0, 0, 0, 0, 0}; }
+
+double QWord::f64(int lane) const {
+  RR_EXPECTS(lane >= 0 && lane < 2);
+  double v;
+  std::memcpy(&v, bytes.data() + lane * 8, 8);
+  return v;
+}
+void QWord::set_f64(int lane, double v) {
+  RR_EXPECTS(lane >= 0 && lane < 2);
+  std::memcpy(bytes.data() + lane * 8, &v, 8);
+}
+float QWord::f32(int lane) const {
+  RR_EXPECTS(lane >= 0 && lane < 4);
+  float v;
+  std::memcpy(&v, bytes.data() + lane * 4, 4);
+  return v;
+}
+void QWord::set_f32(int lane, float v) {
+  RR_EXPECTS(lane >= 0 && lane < 4);
+  std::memcpy(bytes.data() + lane * 4, &v, 4);
+}
+std::int32_t QWord::i32(int lane) const {
+  RR_EXPECTS(lane >= 0 && lane < 4);
+  std::int32_t v;
+  std::memcpy(&v, bytes.data() + lane * 4, 4);
+  return v;
+}
+void QWord::set_i32(int lane, std::int32_t v) {
+  RR_EXPECTS(lane >= 0 && lane < 4);
+  std::memcpy(bytes.data() + lane * 4, &v, 4);
+}
+
+Interpreter::Interpreter() : ls_(kLocalStoreBytes, 0) {}
+
+QWord& Interpreter::reg(int r) {
+  RR_EXPECTS(r >= 0 && r < kNumRegisters);
+  return regs_[r];
+}
+const QWord& Interpreter::reg(int r) const {
+  RR_EXPECTS(r >= 0 && r < kNumRegisters);
+  return regs_[r];
+}
+
+void Interpreter::write_ls(std::uint32_t addr, const void* data, std::size_t n) {
+  RR_EXPECTS(addr + n <= kLocalStoreBytes);
+  std::memcpy(ls_.data() + addr, data, n);
+}
+void Interpreter::read_ls(std::uint32_t addr, void* data, std::size_t n) const {
+  RR_EXPECTS(addr + n <= kLocalStoreBytes);
+  std::memcpy(data, ls_.data() + addr, n);
+}
+void Interpreter::write_f64(std::uint32_t addr, double v) { write_ls(addr, &v, 8); }
+double Interpreter::read_f64(std::uint32_t addr) const {
+  double v;
+  read_ls(addr, &v, 8);
+  return v;
+}
+
+ExecResult Interpreter::run(const MicroProgram& program,
+                            std::uint64_t max_instructions) {
+  RR_EXPECTS(!program.empty());
+  ExecResult result;
+  std::size_t pc = 0;
+
+  auto ls_addr = [&](const MicroInstr& in) -> std::uint32_t {
+    // Quadword-aligned local-store addressing: register lane 0 + imm,
+    // wrapped to the local store like real SPU addressing.
+    const auto base = static_cast<std::uint32_t>(regs_[in.ra].i32(0));
+    const auto addr = (base + static_cast<std::uint32_t>(in.imm)) &
+                      (kLocalStoreBytes - 1) & ~0xFu;
+    return addr;
+  };
+
+  while (pc < program.size() && result.instructions < max_instructions) {
+    const MicroInstr& in = program[pc];
+    ++result.instructions;
+
+    // Record the dynamic trace with the register-dependence shape the
+    // timing model needs.
+    switch (in.op) {
+      case Op::kStqd:
+        result.trace.push_back(op(iclass_of(in.op), -1, in.rb, in.ra));
+        break;
+      case Op::kBrnz:
+      case Op::kStop:
+        result.trace.push_back(op(iclass_of(in.op), -1, in.ra));
+        break;
+      default:
+        result.trace.push_back(op(iclass_of(in.op), in.dst, in.ra, in.rb, in.rc));
+        break;
+    }
+
+    switch (in.op) {
+      case Op::kLqd: {
+        const std::uint32_t addr = ls_addr(in);
+        std::memcpy(regs_[in.dst].bytes.data(), ls_.data() + addr, 16);
+        break;
+      }
+      case Op::kStqd: {
+        const std::uint32_t addr = ls_addr(in);
+        std::memcpy(ls_.data() + addr, regs_[in.rb].bytes.data(), 16);
+        break;
+      }
+      case Op::kFmaD:
+        for (int lane = 0; lane < 2; ++lane)
+          regs_[in.dst].set_f64(lane, regs_[in.ra].f64(lane) * regs_[in.rb].f64(lane) +
+                                          regs_[in.rc].f64(lane));
+        break;
+      case Op::kFaD:
+        for (int lane = 0; lane < 2; ++lane)
+          regs_[in.dst].set_f64(lane, regs_[in.ra].f64(lane) + regs_[in.rb].f64(lane));
+        break;
+      case Op::kFmD:
+        for (int lane = 0; lane < 2; ++lane)
+          regs_[in.dst].set_f64(lane, regs_[in.ra].f64(lane) * regs_[in.rb].f64(lane));
+        break;
+      case Op::kFmaS:
+        for (int lane = 0; lane < 4; ++lane)
+          regs_[in.dst].set_f32(lane, regs_[in.ra].f32(lane) * regs_[in.rb].f32(lane) +
+                                          regs_[in.rc].f32(lane));
+        break;
+      case Op::kIl:
+        for (int lane = 0; lane < 4; ++lane) regs_[in.dst].set_i32(lane, in.imm);
+        break;
+      case Op::kIlD:
+        for (int lane = 0; lane < 2; ++lane) regs_[in.dst].set_f64(lane, in.fimm);
+        break;
+      case Op::kAi:
+        for (int lane = 0; lane < 4; ++lane)
+          regs_[in.dst].set_i32(lane, regs_[in.ra].i32(lane) + in.imm);
+        break;
+      case Op::kSplatD: {
+        const double v = regs_[in.ra].f64(in.imm);
+        regs_[in.dst].set_f64(0, v);
+        regs_[in.dst].set_f64(1, v);
+        break;
+      }
+      case Op::kRotqbyi: {
+        QWord out;
+        for (int b = 0; b < 16; ++b)
+          out.bytes[b] = regs_[in.ra].bytes[(b + in.imm) & 15];
+        regs_[in.dst] = out;
+        break;
+      }
+      case Op::kBrnz:
+        if (regs_[in.ra].i32(0) != 0) {
+          RR_EXPECTS(in.imm >= 0 && in.imm < static_cast<std::int32_t>(program.size()));
+          pc = static_cast<std::size_t>(in.imm);
+          ++result.branches_taken;
+          continue;
+        }
+        break;
+      case Op::kStop:
+        result.hit_stop = true;
+        return result;
+    }
+    ++pc;
+  }
+  return result;
+}
+
+RunStats Interpreter::trace_timing(const Program& trace, const SpuPipeline& pipe) {
+  if (trace.empty()) return RunStats{};
+  return pipe.run(trace, 1);
+}
+
+MicroProgram make_triad_program(std::uint32_t a_addr, std::uint32_t b_addr,
+                                std::uint32_t c_addr, int elements, double scalar) {
+  RR_EXPECTS(elements > 0 && elements % 2 == 0);
+  RR_EXPECTS(a_addr % 16 == 0 && b_addr % 16 == 0 && c_addr % 16 == 0);
+
+  // Registers: 2 = loop counter (quadword trips), 3/4/5 = a/b/c pointers,
+  // 6 = scalar, 10/11/12 = b element, c element, result.
+  MicroProgram p;
+  p.push_back(il(2, elements / 2));
+  p.push_back(il(3, static_cast<std::int32_t>(a_addr)));
+  p.push_back(il(4, static_cast<std::int32_t>(b_addr)));
+  p.push_back(il(5, static_cast<std::int32_t>(c_addr)));
+  p.push_back(il_d(6, scalar));
+
+  const int loop_top = static_cast<int>(p.size());
+  p.push_back(lqd(10, 4));            // b[i..i+1]
+  p.push_back(lqd(11, 5));            // c[i..i+1]
+  p.push_back(fma_d(12, 6, 11, 10));  // s*c + b
+  p.push_back(stqd(12, 3));           // a[i..i+1]
+  p.push_back(ai(3, 3, 16));
+  p.push_back(ai(4, 4, 16));
+  p.push_back(ai(5, 5, 16));
+  p.push_back(ai(2, 2, -1));
+  p.push_back(brnz(2, loop_top));
+  p.push_back(stop());
+  return p;
+}
+
+}  // namespace rr::spu

@@ -1,0 +1,79 @@
+// A timing-level model of the SPU (Synergistic Processor Unit) instruction
+// set, organized by the execution groups the paper benchmarks (Fig. 4-5):
+//
+//   BR    branch                                   (odd pipe)
+//   FP6   6-cycle single-precision floating point  (even pipe)
+//   FP7   7-cycle FP/integer (converts, multiply)  (even pipe)
+//   FPD   double-precision floating point          (even pipe)
+//   FX2   2-cycle fixed point                      (even pipe)
+//   FX3   3-cycle fixed point                      (even pipe)
+//   FXB   byte operations                          (even pipe)
+//   LS    local-store load/store                   (odd pipe)
+//   SHUF  shuffle/quadword rotate                  (odd pipe)
+//
+// The SPU is an in-order dual-issue core: at most one even-pipe and one
+// odd-pipe instruction may issue per cycle, in program order.  Registers
+// are the SPU's 128 x 128-bit unified register file.  We do not model
+// instruction semantics -- only register dependences and unit timing --
+// which is all the paper's microbenchmarks (hand-written assembly) probe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace rr::spu {
+
+enum class IClass : std::uint8_t { kBR, kFP6, kFP7, kFPD, kFX2, kFX3, kFXB, kLS, kSHUF };
+inline constexpr int kNumIClasses = 9;
+
+inline constexpr std::array<std::string_view, kNumIClasses> kIClassNames = {
+    "BR", "FP6", "FP7", "FPD", "FX2", "FX3", "FXB", "LS", "SHUF"};
+
+enum class Pipe : std::uint8_t { kEven, kOdd };
+
+constexpr Pipe pipe_of(IClass c) {
+  switch (c) {
+    case IClass::kBR:
+    case IClass::kLS:
+    case IClass::kSHUF:
+      return Pipe::kOdd;
+    default:
+      return Pipe::kEven;
+  }
+}
+
+inline constexpr int kNumRegisters = 128;
+
+/// One instruction: an execution group plus register dependences.
+/// dst/src are register numbers (0..127) or -1 for "none".
+struct Instr {
+  IClass cls{};
+  std::int16_t dst = -1;
+  std::array<std::int16_t, 3> src = {-1, -1, -1};
+};
+
+/// Convenience constructors (a micro-assembler).
+constexpr Instr op(IClass cls, int dst, int s0 = -1, int s1 = -1, int s2 = -1) {
+  RR_EXPECTS(dst >= -1 && dst < kNumRegisters);
+  return Instr{cls, static_cast<std::int16_t>(dst),
+               {static_cast<std::int16_t>(s0), static_cast<std::int16_t>(s1),
+                static_cast<std::int16_t>(s2)}};
+}
+
+constexpr Instr fma_dp(int dst, int a, int b, int c) { return op(IClass::kFPD, dst, a, b, c); }
+constexpr Instr fma_sp(int dst, int a, int b, int c) { return op(IClass::kFP6, dst, a, b, c); }
+constexpr Instr load(int dst, int addr_reg = -1) { return op(IClass::kLS, dst, addr_reg); }
+constexpr Instr store(int src_reg, int addr_reg = -1) { return op(IClass::kLS, -1, src_reg, addr_reg); }
+constexpr Instr add_fx(int dst, int a, int b = -1) { return op(IClass::kFX2, dst, a, b); }
+constexpr Instr shuffle(int dst, int a, int b = -1) { return op(IClass::kSHUF, dst, a, b); }
+constexpr Instr branch() { return op(IClass::kBR, -1); }
+
+/// A straight-line instruction sequence (a loop body when repeated).
+using Program = std::vector<Instr>;
+
+}  // namespace rr::spu

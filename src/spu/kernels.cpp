@@ -1,0 +1,208 @@
+#include "spu/kernels.hpp"
+
+#include "util/expect.hpp"
+
+namespace rr::spu {
+
+namespace {
+// Register naming conventions for the kernels below.
+constexpr int kScalarReg = 8;     // always-ready constant (e.g. the triad s)
+constexpr int kPtrReg = 9;        // loop pointer
+constexpr int kTmpBase = 16;      // scratch registers
+}  // namespace
+
+Program make_triad_body(int unroll) {
+  RR_EXPECTS(unroll >= 1 && unroll <= 16);
+  Program p;
+  // a[i] = b[i] + s * c[i], one 16-byte vector (2 doubles) per unrolled
+  // element.  Schedule the way a compiler of the era did: all loads, then
+  // the FMAs, then the stores, then loop maintenance.  In-order issue makes
+  // the stores wait for the FMA latency, which is what keeps the achieved
+  // local-store bandwidth below the 51.2 GB/s peak (Table III discussion).
+  for (int u = 0; u < unroll; ++u) {
+    p.push_back(load(kTmpBase + u, kPtrReg));           // lqd b_u
+    p.push_back(load(kTmpBase + 16 + u, kPtrReg));      // lqd c_u
+  }
+  for (int u = 0; u < unroll; ++u)
+    p.push_back(fma_dp(kTmpBase + 32 + u, kTmpBase + u, kTmpBase + 16 + u, kScalarReg));
+  for (int u = 0; u < unroll; ++u)
+    p.push_back(store(kTmpBase + 32 + u, kPtrReg));     // stqd a_u
+  p.push_back(add_fx(kPtrReg, kPtrReg));                // pointer bump
+  p.push_back(branch());                                // loop close
+  return p;
+}
+
+Bandwidth triad_local_store_bandwidth(const SpuPipeline& pipe, int unroll) {
+  const Program body = make_triad_body(unroll);
+  const double cycles = pipe.steady_cycles_per_iteration(body);
+  const double bytes = 48.0 * unroll;  // 3 arrays x 16 B per element
+  const double secs = pipe.to_time(cycles).sec();
+  return Bandwidth::bytes_per_sec(bytes / secs);
+}
+
+Program make_fma_stream(IClass fp_class, int length) {
+  RR_EXPECTS(fp_class == IClass::kFPD || fp_class == IClass::kFP6);
+  Program p;
+  p.reserve(length);
+  for (int i = 0; i < length; ++i)
+    p.push_back(op(fp_class, kTmpBase + (i % 64), kScalarReg, kScalarReg));
+  return p;
+}
+
+FlopRate fma_peak_rate(const SpuPipeline& pipe, IClass fp_class) {
+  const Program body = make_fma_stream(fp_class, 64);
+  const double cycles = pipe.steady_cycles_per_iteration(body);
+  // FPD: 2-wide SIMD FMA = 4 flops/instr; FP6: 4-wide SIMD FMA = 8 flops.
+  const double flops_per_instr = fp_class == IClass::kFPD ? 4.0 : 8.0;
+  const double flops = flops_per_instr * 64.0;
+  return FlopRate::flops(flops / pipe.to_time(cycles).sec());
+}
+
+namespace {
+/// Diamond-difference chain depth per angle pair: gather three inflows
+/// onto the source, scale by the inverse denominator, form three
+/// outflows, accumulate the scalar flux.
+constexpr int kChainDepth = 8;
+}  // namespace
+
+Program make_sweep_cell_body() {
+  // Optimized Section V.B code: six angles = three SIMD pairs, the angle
+  // loop innermost and unrolled 3x so the three pairs' FMA chains are
+  // interleaved at the instruction level ("rearranging non-dependent code
+  // and unrolling and adding temporary variables so that more instructions
+  // were available to fill the two pipes").  The serial backbone per cell
+  // is the x-pencil recurrence: pair 0's chain starts from a value loaded
+  // from local store (written by the previous cell) and the y/z inflow
+  // loads join that chain.
+  Program p;
+
+  // x-recurrence load for each pair, feeding the FPD chains.  Pair 0's
+  // load also carries the serial store->load dependence from the previous
+  // iteration (register 120 is written at the end of this body).
+  p.push_back(load(100, 120));   // pair 0 x-inflow (serial across cells)
+  p.push_back(load(101, kPtrReg));
+  p.push_back(load(102, kPtrReg));
+
+  // y/z inflow surface loads that join pair 0's chain (the recurrence
+  // genuinely passes through local store).
+  p.push_back(load(103, 100));
+  p.push_back(load(104, 103));
+
+  // Interleaved FMA chains: step k of all three pairs before step k+1.
+  int chain0 = 104, chain1 = 101, chain2 = 102;
+  for (int k = 0; k < kChainDepth; ++k) {
+    p.push_back(fma_dp(32 + k, chain0, kScalarReg, kScalarReg));
+    p.push_back(fma_dp(48 + k, chain1, kScalarReg, kScalarReg));
+    p.push_back(fma_dp(64 + k, chain2, kScalarReg, kScalarReg));
+    chain0 = 32 + k;
+    chain1 = 48 + k;
+    chain2 = 64 + k;
+  }
+  const int out0 = chain0;
+  const int out1 = chain1;
+  const int out2 = chain2;
+
+  // Pack/unpack angle pairs and store outflow surfaces (odd pipe).
+  p.push_back(shuffle(110, out0, out1));
+  p.push_back(shuffle(111, out1, out2));
+  p.push_back(shuffle(112, out2, out0));
+  for (int k = 0; k < 7; ++k) p.push_back(store(110 + (k % 3), kPtrReg));
+  p.push_back(shuffle(113, 110));
+  p.push_back(shuffle(114, 111));
+  p.push_back(shuffle(115, 112));
+
+  // Loop maintenance (even pipe FX2 + odd pipe branch) and the serial
+  // handoff register for the next cell's pair-0 load.
+  p.push_back(add_fx(kPtrReg, kPtrReg));
+  p.push_back(add_fx(121, kPtrReg));
+  p.push_back(add_fx(122, kPtrReg));
+  p.push_back(add_fx(120, out0));  // forwards the x-outflow (via store queue)
+  p.push_back(store(120, kPtrReg));
+  p.push_back(branch());
+  return p;
+}
+
+double sweep_cell_cycles(const SpuPipeline& pipe) {
+  const Program body = make_sweep_cell_body();
+  return pipe.steady_cycles_per_iteration(body);
+}
+
+Program make_sweep_cell_body_scalar() {
+  // Pre-optimization code generation: one angle at a time (no SIMD pairs),
+  // each angle an 8-FMA serial chain behind its own local-store load, and
+  // angles processed sequentially (no unrolling, no interleaving).
+  Program p;
+  int carry = 120;
+  for (int angle = 0; angle < 6; ++angle) {
+    p.push_back(load(100, carry));
+    int chain = 100;
+    const int base = 32 + (angle % 3) * 16;
+    for (int k = 0; k < 8; ++k) {
+      const int dst = base + k;
+      p.push_back(fma_dp(dst, chain, kScalarReg, kScalarReg));
+      chain = dst;
+    }
+    p.push_back(store(chain, kPtrReg));
+    p.push_back(add_fx(120, chain));
+    carry = 120;
+  }
+  p.push_back(add_fx(kPtrReg, kPtrReg));
+  p.push_back(branch());
+  return p;
+}
+
+double sweep_cell_cycles_scalar(const SpuPipeline& pipe) {
+  const Program body = make_sweep_cell_body_scalar();
+  return pipe.steady_cycles_per_iteration(body);
+}
+
+Program make_dgemm_body() {
+  Program p;
+  // Two software-pipelined rank-1 steps with ping-pong operand sets: while
+  // the 12 FMAs of one step run out of registers loaded a full step ago,
+  // the odd pipe prefetches and splats the other set.  Twelve rotating
+  // accumulators per step give each accumulator >= 12 cycles between
+  // reuses, hiding the 9-cycle FPD latency; the even pipe is then FMA
+  // throughput-bound, which is how IBM's hybrid DGEMM reached ~90% of
+  // SPE peak.
+  struct OperandSet {
+    int a0, a1, b, b0, b1;
+  };
+  const OperandSet set[2] = {{40, 41, 42, 43, 44}, {50, 51, 52, 53, 54}};
+  for (int step = 0; step < 2; ++step) {
+    const OperandSet& cur = set[step];
+    const OperandSet& next = set[1 - step];
+    // Prefetch the NEXT step's operands (odd pipe, overlaps the FMAs);
+    // the B splats are placed *between* FMA groups so they dual-issue on
+    // the odd pipe once the B load has landed, instead of stalling the
+    // in-order front end right after the load.
+    p.push_back(load(next.a0, kPtrReg));
+    p.push_back(load(next.a1, kPtrReg));
+    p.push_back(load(next.b, kPtrReg));
+    auto emit_fmas = [&](int first, int count) {
+      for (int i = first; i < first + count; ++i) {
+        const int acc = 64 + step * 12 + i;
+        const int a = i % 2 == 0 ? cur.a0 : cur.a1;
+        const int b = i % 2 == 0 ? cur.b0 : cur.b1;
+        p.push_back(fma_dp(acc, a, b, acc));
+      }
+    };
+    emit_fmas(0, 8);
+    p.push_back(shuffle(next.b0, next.b));
+    p.push_back(shuffle(next.b1, next.b));
+    emit_fmas(8, 4);
+  }
+  p.push_back(add_fx(kPtrReg, kPtrReg));  // advance pointers
+  p.push_back(branch());
+  return p;
+}
+
+double dgemm_kernel_efficiency(const SpuPipeline& pipe) {
+  const Program body = make_dgemm_body();
+  const double cycles = pipe.steady_cycles_per_iteration(body);
+  const double flops = 24.0 * 4.0;  // 2 steps x 12 SIMD FMAs x 4 flops
+  const double peak_flops_per_cycle = 4.0;
+  return flops / (cycles * peak_flops_per_cycle);
+}
+
+}  // namespace rr::spu

@@ -1,0 +1,61 @@
+// Representative SPU kernels, expressed as timing-level instruction streams
+// and run on the pipeline simulator:
+//
+//  * triad:      Streams TRIAD a[i] = b[i] + s*c[i] out of local store,
+//                compiled the way a production compiler of the era would
+//                (moderate unrolling) -- reproduces the Table III SPE row.
+//  * dp_peak:    independent double-precision FMAs -- peak DP flop rate
+//                (102.4 Gflop/s per PowerXCell 8i SPE set; 14.6 on Cell BE).
+//  * sp_peak:    independent single-precision FMAs.
+//  * sweep_cell: the optimized Sweep3D inner loop of Section V.B -- six
+//                angles as three SIMD pairs, inner loop unrolled 3x,
+//                even/odd pipe interleaving -- used to derive the per
+//                (cell, angle) compute cost for the Sweep3D model.
+#pragma once
+
+#include "spu/pipeline.hpp"
+#include "util/units.hpp"
+
+namespace rr::spu {
+
+/// Streams TRIAD loop body with the given unroll factor.  Each unrolled
+/// element moves one 16-byte vector per array (48 bytes total).
+Program make_triad_body(int unroll);
+
+/// Measured local-store TRIAD bandwidth for this pipeline.
+Bandwidth triad_local_store_bandwidth(const SpuPipeline& pipe, int unroll = 5);
+
+/// Independent FMA stream (even pipe only).  `fp_class` selects FPD or FP6.
+Program make_fma_stream(IClass fp_class, int length);
+
+/// Peak achievable flop rate per SPE for the given precision class
+/// (counts 4 flops per FPD instruction -- 2-wide SIMD FMA -- and 8 per FP6).
+FlopRate fma_peak_rate(const SpuPipeline& pipe, IClass fp_class);
+
+/// The Sweep3D per-(cell, angle-pair) inner loop body (Section V.B): the
+/// six fixed angles processed as three SIMD pairs with the angle loop
+/// innermost, unrolled 3x, with loads/stores of flux data interleaved on
+/// the odd pipe.  Returns the body covering ONE cell (all six angles).
+Program make_sweep_cell_body();
+
+/// Steady-state cycles to process one cell (six angles) of the Sweep3D
+/// inner loop on this pipeline.
+double sweep_cell_cycles(const SpuPipeline& pipe);
+
+/// Same kernel but scalar/non-SIMD, one angle at a time, no unrolling --
+/// models the pre-optimization code generation (used for comparisons).
+Program make_sweep_cell_body_scalar();
+double sweep_cell_cycles_scalar(const SpuPipeline& pipe);
+
+/// HPL trailing-update DGEMM micro-kernel: register-blocked rank-1 update
+/// with 12 rotating SIMD accumulators (deep enough to cover the 9-cycle
+/// FPD latency), operand loads and splats on the odd pipe -- the
+/// structure of IBM's hybrid DGEMM.  One body = one k-step of the block.
+Program make_dgemm_body();
+
+/// Fraction of the SPE's double-precision peak (4 flops/cycle) the DGEMM
+/// kernel sustains on this pipeline.  ~0.92 on the PowerXCell 8i; ~0.13
+/// on the Cell BE (the FPD global stall gates everything).
+double dgemm_kernel_efficiency(const SpuPipeline& pipe);
+
+}  // namespace rr::spu

@@ -1,0 +1,81 @@
+#include "spu/microbench.hpp"
+
+#include "util/expect.hpp"
+
+namespace rr::spu {
+
+namespace {
+
+/// Dependent chain: instruction i reads the register written by i-1.
+/// The chain wraps around a handful of registers; the loop-carried
+/// dependence makes back-to-back iterations equivalent to one long chain.
+Program make_chain(IClass cls, int length) {
+  Program p;
+  p.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    const int dst = (i + 1) % 32;
+    const int src = i % 32;
+    p.push_back(op(cls, dst, src));
+  }
+  return p;
+}
+
+/// Independent stream: every instruction reads an always-ready register
+/// and writes a register nobody reads soon (32-deep rotation).
+Program make_independent(IClass cls, int length) {
+  Program p;
+  p.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    const int dst = 64 + (i % 32);
+    p.push_back(op(cls, dst, 8));  // r8 is never written: always ready
+  }
+  return p;
+}
+
+}  // namespace
+
+double measure_latency(const SpuPipeline& pipe, IClass cls) {
+  // Slope method: (cycles(2N) - cycles(N)) / N removes fixed overheads,
+  // exactly as the paper's assembly microbenchmarks do.
+  const int n = 256;
+  const Program chain_n = make_chain(cls, n);
+  const Program chain_2n = make_chain(cls, 2 * n);
+  const auto c_n = pipe.run(chain_n).cycles;
+  const auto c_2n = pipe.run(chain_2n).cycles;
+  return static_cast<double>(c_2n - c_n) / n;
+}
+
+double measure_repetition(const SpuPipeline& pipe, IClass cls) {
+  const int n = 256;
+  const Program s_n = make_independent(cls, n);
+  const Program s_2n = make_independent(cls, 2 * n);
+  const auto c_n = pipe.run(s_n).cycles;
+  const auto c_2n = pipe.run(s_2n).cycles;
+  return static_cast<double>(c_2n - c_n) / n;
+}
+
+std::vector<GroupMeasurement> measure_all_groups(const SpuPipeline& pipe) {
+  std::vector<GroupMeasurement> out;
+  out.reserve(kNumIClasses);
+  for (int i = 0; i < kNumIClasses; ++i) {
+    const auto cls = static_cast<IClass>(i);
+    GroupMeasurement m;
+    m.cls = cls;
+    m.latency_cycles = measure_latency(pipe, cls);
+    m.repetition_cycles = measure_repetition(pipe, cls);
+    out.push_back(m);
+  }
+  return out;
+}
+
+GroupMeasurement expected_group(const PipelineSpec& spec, IClass cls) {
+  GroupMeasurement m;
+  m.cls = cls;
+  // A dependent chain is limited by whichever is longer: result latency or
+  // the unit's issue interval.
+  m.latency_cycles = spec.of(cls).latency;
+  m.repetition_cycles = spec.repetition_distance(cls);
+  return m;
+}
+
+}  // namespace rr::spu

@@ -1,0 +1,109 @@
+#include "spu/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace rr::spu {
+
+PipelineSpec PipelineSpec::cell_be() {
+  PipelineSpec s;
+  s.of(IClass::kBR) = {4, 0, 0};
+  s.of(IClass::kFP6) = {6, 0, 0};
+  s.of(IClass::kFP7) = {7, 0, 0};
+  // Not fully pipelined on the Cell BE: 13-cycle latency and a 6-cycle
+  // global stall after issue (repetition distance 7, Section IV.A).
+  s.of(IClass::kFPD) = {13, 0, 6};
+  s.of(IClass::kFX2) = {2, 0, 0};
+  s.of(IClass::kFX3) = {3, 0, 0};
+  s.of(IClass::kFXB) = {4, 0, 0};
+  s.of(IClass::kLS) = {6, 0, 0};
+  s.of(IClass::kSHUF) = {4, 0, 0};
+  return s;
+}
+
+PipelineSpec PipelineSpec::powerxcell_8i() {
+  PipelineSpec s = cell_be();
+  // The redesigned DP unit: latency 13 -> 9 and fully pipelined (Fig. 4-5).
+  s.of(IClass::kFPD) = {9, 0, 0};
+  return s;
+}
+
+PipelineSpec PipelineSpec::for_variant(arch::CellVariant variant) {
+  return variant == arch::CellVariant::kPowerXCell8i ? powerxcell_8i() : cell_be();
+}
+
+RunStats SpuPipeline::run(std::span<const Instr> body, int iterations) const {
+  RR_EXPECTS(iterations >= 1);
+  RR_EXPECTS(!body.empty());
+
+  // Scoreboard state.
+  std::array<std::uint64_t, kNumRegisters> reg_ready{};  // cycle result is usable
+  std::array<std::uint64_t, kNumIClasses> unit_free{};   // next legal issue cycle
+  std::uint64_t global_free = 0;  // next cycle any instruction may issue
+
+  RunStats stats;
+  std::uint64_t cycle = 0;
+  std::size_t pc = 0;  // index into the conceptually unrolled stream
+  const std::size_t total = body.size() * static_cast<std::size_t>(iterations);
+
+  while (pc < total) {
+    bool even_used = false;
+    bool odd_used = false;
+    int issued_this_cycle = 0;
+
+    // In-order issue: attempt the next instruction; on success, attempt one
+    // more if it targets the other pipe.  Stop at the first stall.
+    while (pc < total && issued_this_cycle < 2) {
+      const Instr& in = body[pc % body.size()];
+      const Pipe pipe = pipe_of(in.cls);
+      if (pipe == Pipe::kEven && even_used) break;
+      if (pipe == Pipe::kOdd && odd_used) break;
+      if (cycle < global_free) break;
+      if (cycle < unit_free[static_cast<int>(in.cls)]) break;
+      bool operands_ready = true;
+      for (const std::int16_t s : in.src)
+        if (s >= 0 && reg_ready[s] > cycle) {
+          operands_ready = false;
+          break;
+        }
+      if (!operands_ready) break;
+
+      // Issue.
+      const ClassTiming& t = spec_.of(in.cls);
+      if (in.dst >= 0) reg_ready[in.dst] = cycle + static_cast<std::uint64_t>(t.latency);
+      unit_free[static_cast<int>(in.cls)] =
+          cycle + 1 + static_cast<std::uint64_t>(t.local_stall);
+      if (t.global_stall > 0)
+        global_free = std::max(global_free,
+                               cycle + 1 + static_cast<std::uint64_t>(t.global_stall));
+      if (pipe == Pipe::kEven) even_used = true;
+      else odd_used = true;
+      ++issued_this_cycle;
+      ++pc;
+      ++stats.instructions;
+    }
+
+    if (issued_this_cycle == 2) ++stats.dual_issue_cycles;
+    if (issued_this_cycle == 0) ++stats.idle_cycles;
+    ++cycle;
+  }
+
+  // Drain: account the latency of the last value produced so that a single
+  // dependent chain reports its full length.
+  std::uint64_t last_ready = cycle;
+  for (const std::uint64_t r : reg_ready) last_ready = std::max(last_ready, r);
+  stats.cycles = last_ready;
+  return stats;
+}
+
+double SpuPipeline::steady_cycles_per_iteration(std::span<const Instr> body,
+                                                int measure_iterations) const {
+  RR_EXPECTS(measure_iterations >= 1);
+  const int warm = 8;
+  const RunStats a = run(body, warm);
+  const RunStats b = run(body, warm + measure_iterations);
+  return static_cast<double>(b.cycles - a.cycles) / measure_iterations;
+}
+
+}  // namespace rr::spu

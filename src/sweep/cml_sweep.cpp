@@ -1,0 +1,154 @@
+#include "sweep/cml_sweep.hpp"
+
+#include <algorithm>
+
+#include "sweep/diamond.hpp"
+#include "sweep/quadrature.hpp"
+#include "util/expect.hpp"
+
+namespace rr::sweep {
+
+namespace {
+int plane_tag(int octant, int angle, int block, int axis) {
+  return ((octant * 8 + angle) * 4096 + block) * 2 + axis;
+}
+}  // namespace
+
+CmlSweepResult sweep_once_cml(const Problem& p, const std::vector<double>& emission,
+                              const KbaConfig& cfg, cml::CmlWorld& world,
+                              Duration per_cell_angle) {
+  RR_EXPECTS(cfg.px >= 1 && cfg.py >= 1 && cfg.mk >= 1);
+  RR_EXPECTS(p.nx % cfg.px == 0);
+  RR_EXPECTS(p.ny % cfg.py == 0);
+  RR_EXPECTS(p.nz % cfg.mk == 0);
+  RR_EXPECTS(emission.size() == p.cells());
+  RR_EXPECTS(world.size() >= cfg.ranks());
+
+  const int bx = p.nx / cfg.px;
+  const int by = p.ny / cfg.py;
+  const int kb = p.nz / cfg.mk;
+
+  CmlSweepResult result;
+  result.ranks = cfg.ranks();
+  result.sweep.scalar_flux.assign(p.cells(), 0.0);
+
+  const auto angles = s6_octant_angles();
+  const double ax = p.dy * p.dz;
+  const double ay = p.dx * p.dz;
+  const double az = p.dx * p.dy;
+  const std::uint64_t messages_before = world.network().messages_sent();
+
+  auto program = [&](cml::CmlContext ctx) -> sim::Task<void> {
+    const int r = ctx.rank();
+    if (r >= cfg.ranks()) co_return;
+    const int pi = r % cfg.px;
+    const int pj = r / cfg.px;
+    const int ib = pi * bx;
+    const int jb = pj * by;
+
+    std::vector<double> x_in(static_cast<std::size_t>(by) * kb);
+    std::vector<double> y_in(static_cast<std::size_t>(bx) * kb);
+    std::vector<double> z_in(static_cast<std::size_t>(bx) * by);
+
+    for (int oc = 0; oc < kOctants; ++oc) {
+      const Octant o = octant(oc);
+      const int up_pi = pi - o.sx;
+      const int up_pj = pj - o.sy;
+      const int dn_pi = pi + o.sx;
+      const int dn_pj = pj + o.sy;
+      const bool has_up_x = up_pi >= 0 && up_pi < cfg.px;
+      const bool has_up_y = up_pj >= 0 && up_pj < cfg.py;
+      const bool has_dn_x = dn_pi >= 0 && dn_pi < cfg.px;
+      const bool has_dn_y = dn_pj >= 0 && dn_pj < cfg.py;
+
+      for (int a = 0; a < kAnglesPerOctant; ++a) {
+        const Direction& d = angles[a];
+        const double cx = d.mu / p.dx;
+        const double cy = d.eta / p.dy;
+        const double cz = d.xi / p.dz;
+        std::fill(z_in.begin(), z_in.end(), 0.0);
+
+        for (int b = 0; b < cfg.mk; ++b) {
+          const int kblock = o.sz > 0 ? b : cfg.mk - 1 - b;
+          const int kfirst = o.sz > 0 ? kblock * kb : kblock * kb + kb - 1;
+
+          if (has_up_x) {
+            const cml::Message m =
+                co_await ctx.recv(pj * cfg.px + up_pi, plane_tag(oc, a, b, 0));
+            RR_ASSERT(m.payload.size() == x_in.size());
+            x_in = m.payload;
+          } else {
+            std::fill(x_in.begin(), x_in.end(), 0.0);
+          }
+          if (has_up_y) {
+            const cml::Message m =
+                co_await ctx.recv(up_pj * cfg.px + pi, plane_tag(oc, a, b, 1));
+            RR_ASSERT(m.payload.size() == y_in.size());
+            y_in = m.payload;
+          } else {
+            std::fill(y_in.begin(), y_in.end(), 0.0);
+          }
+
+          // Real diamond-difference block computation, charged to the SPE
+          // at the calibrated per-(cell,angle) rate.
+          std::uint64_t block_fixups = 0;
+          for (int kk = 0; kk < kb; ++kk) {
+            const int k = kfirst + o.sz * kk;
+            for (int jj = 0; jj < by; ++jj) {
+              const int j = o.sy > 0 ? jb + jj : jb + by - 1 - jj;
+              for (int ii = 0; ii < bx; ++ii) {
+                const int i = o.sx > 0 ? ib + ii : ib + bx - 1 - ii;
+                const std::size_t cell = p.idx(i, j, k);
+                double& ixf = x_in[static_cast<std::size_t>(kk) * by + (j - jb)];
+                double& iyf = y_in[static_cast<std::size_t>(kk) * bx + (i - ib)];
+                double& izf = z_in[static_cast<std::size_t>(j - jb) * bx + (i - ib)];
+                const detail::CellUpdate u = detail::diamond_cell(
+                    emission[cell], p.sigma_t, cx, cy, cz, ixf, iyf, izf,
+                    p.flux_fixup);
+                result.sweep.scalar_flux[cell] += d.weight * u.psi;
+                block_fixups += u.fixups;
+                ixf = u.out_x;
+                iyf = u.out_y;
+                izf = u.out_z;
+              }
+            }
+          }
+          result.sweep.fixups += block_fixups;
+          co_await sim::Delay{world.simulator(),
+                              per_cell_angle * (static_cast<std::int64_t>(bx) * by * kb)};
+
+          if (has_dn_x) {
+            std::vector<double> plane = x_in;
+            co_await ctx.send(pj * cfg.px + dn_pi, plane_tag(oc, a, b, 0),
+                              std::move(plane));
+          } else {
+            double leak = 0.0;
+            for (const double v : x_in) leak += d.mu * ax * v;
+            result.sweep.leakage += d.weight * leak;
+          }
+          if (has_dn_y) {
+            std::vector<double> plane = y_in;
+            co_await ctx.send(dn_pj * cfg.px + pi, plane_tag(oc, a, b, 1),
+                              std::move(plane));
+          } else {
+            double leak = 0.0;
+            for (const double v : y_in) leak += d.eta * ay * v;
+            result.sweep.leakage += d.weight * leak;
+          }
+        }
+        double leak = 0.0;
+        for (const double v : z_in) leak += d.xi * az * v;
+        result.sweep.leakage += d.weight * leak;
+      }
+    }
+  };
+
+  const TimePoint t0 = world.simulator().now();
+  const std::size_t done = world.run(program);
+  RR_ENSURES(done == static_cast<std::size_t>(world.size()));
+  result.simulated_time = world.simulator().now() - t0;
+  result.messages = world.network().messages_sent() - messages_before;
+  return result;
+}
+
+}  // namespace rr::sweep

@@ -1,0 +1,206 @@
+#include "sweep/kba.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "sweep/diamond.hpp"
+
+namespace rr::sweep {
+
+namespace {
+
+/// FIFO channel for boundary planes between neighbor ranks.
+class PlaneChannel {
+ public:
+  void push(std::vector<double> plane) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(plane));
+    }
+    cv_.notify_one();
+  }
+  std::vector<double> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    std::vector<double> plane = std::move(queue_.front());
+    queue_.pop_front();
+    return plane;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<double>> queue_;
+};
+
+using detail::diamond_cell;
+using detail::CellUpdate;
+
+struct RankFrame {
+  // channels[axis][direction]: axis 0 = x, 1 = y; direction 0 = flow in +,
+  // (i.e. the message came from the -side neighbor), 1 = flow in -.
+  PlaneChannel ch[2][2];
+  double leakage = 0.0;
+  std::uint64_t fixups = 0;
+};
+
+}  // namespace
+
+SweepResult sweep_once_kba(const Problem& p, const std::vector<double>& emission,
+                           const KbaConfig& cfg) {
+  RR_EXPECTS(cfg.px >= 1 && cfg.py >= 1 && cfg.mk >= 1);
+  RR_EXPECTS(p.nx % cfg.px == 0);
+  RR_EXPECTS(p.ny % cfg.py == 0);
+  RR_EXPECTS(p.nz % cfg.mk == 0);
+  RR_EXPECTS(emission.size() == p.cells());
+
+  const int bx = p.nx / cfg.px;
+  const int by = p.ny / cfg.py;
+  const int kb = p.nz / cfg.mk;  // K-plane count per block
+
+  SweepResult result;
+  result.scalar_flux.assign(p.cells(), 0.0);
+
+  std::vector<RankFrame> frames(cfg.ranks());
+  auto frame_of = [&](int pi, int pj) -> RankFrame& {
+    return frames[static_cast<std::size_t>(pj) * cfg.px + pi];
+  };
+
+  const auto angles = s6_octant_angles();
+  const double ax = p.dy * p.dz;
+  const double ay = p.dx * p.dz;
+  const double az = p.dx * p.dy;
+
+  auto rank_body = [&](int pi, int pj) {
+    RankFrame& me = frame_of(pi, pj);
+    const int ib = pi * bx;  // first owned i
+    const int jb = pj * by;
+
+    std::vector<double> x_in(static_cast<std::size_t>(by) * kb);
+    std::vector<double> y_in(static_cast<std::size_t>(bx) * kb);
+    std::vector<double> z_in(static_cast<std::size_t>(bx) * by);
+
+    for (int oc = 0; oc < kOctants; ++oc) {
+      const Octant o = octant(oc);
+      const int xdir = o.sx > 0 ? 0 : 1;
+      const int ydir = o.sy > 0 ? 0 : 1;
+      const int up_pi = pi - o.sx;  // upstream neighbor in I
+      const int up_pj = pj - o.sy;
+      const int dn_pi = pi + o.sx;
+      const int dn_pj = pj + o.sy;
+      const bool has_up_x = up_pi >= 0 && up_pi < cfg.px;
+      const bool has_up_y = up_pj >= 0 && up_pj < cfg.py;
+      const bool has_dn_x = dn_pi >= 0 && dn_pi < cfg.px;
+      const bool has_dn_y = dn_pj >= 0 && dn_pj < cfg.py;
+
+      for (const Direction& d : angles) {
+        const double cx = d.mu / p.dx;
+        const double cy = d.eta / p.dy;
+        const double cz = d.xi / p.dz;
+        std::fill(z_in.begin(), z_in.end(), 0.0);  // vacuum z entry
+
+        for (int b = 0; b < cfg.mk; ++b) {
+          // Block's K range in sweep order.
+          const int kblock = o.sz > 0 ? b : cfg.mk - 1 - b;
+          const int kfirst = o.sz > 0 ? kblock * kb : kblock * kb + kb - 1;
+
+          if (has_up_x) x_in = me.ch[0][xdir].pop();
+          else std::fill(x_in.begin(), x_in.end(), 0.0);
+          if (has_up_y) y_in = me.ch[1][ydir].pop();
+          else std::fill(y_in.begin(), y_in.end(), 0.0);
+
+          for (int kk = 0; kk < kb; ++kk) {
+            const int k = kfirst + o.sz * kk;
+            for (int jj = 0; jj < by; ++jj) {
+              const int j = o.sy > 0 ? jb + jj : jb + by - 1 - jj;
+              for (int ii = 0; ii < bx; ++ii) {
+                const int i = o.sx > 0 ? ib + ii : ib + bx - 1 - ii;
+                const std::size_t cell = p.idx(i, j, k);
+                double& ix = x_in[static_cast<std::size_t>(kk) * by + (j - jb)];
+                double& iy = y_in[static_cast<std::size_t>(kk) * bx + (i - ib)];
+                double& iz = z_in[static_cast<std::size_t>(j - jb) * bx + (i - ib)];
+                const CellUpdate u =
+                    diamond_cell(emission[cell], p.sigma_t, cx, cy, cz, ix, iy,
+                                 iz, p.flux_fixup);
+                result.scalar_flux[cell] += d.weight * u.psi;
+                me.fixups += u.fixups;
+                ix = u.out_x;
+                iy = u.out_y;
+                iz = u.out_z;
+              }
+            }
+          }
+
+          if (has_dn_x) {
+            frame_of(dn_pi, pj).ch[0][xdir].push(x_in);
+          } else {
+            double leak = 0.0;
+            for (const double v : x_in) leak += d.mu * ax * v;
+            me.leakage += d.weight * leak;
+          }
+          if (has_dn_y) {
+            frame_of(pi, dn_pj).ch[1][ydir].push(y_in);
+          } else {
+            double leak = 0.0;
+            for (const double v : y_in) leak += d.eta * ay * v;
+            me.leakage += d.weight * leak;
+          }
+        }
+        // Z boundary leakage (K is not decomposed).
+        double leak = 0.0;
+        for (const double v : z_in) leak += d.xi * az * v;
+        me.leakage += d.weight * leak;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.ranks());
+  for (int pj = 0; pj < cfg.py; ++pj)
+    for (int pi = 0; pi < cfg.px; ++pi) threads.emplace_back(rank_body, pi, pj);
+  for (auto& t : threads) t.join();
+
+  for (const RankFrame& f : frames) {
+    result.leakage += f.leakage;
+    result.fixups += f.fixups;
+  }
+  return result;
+}
+
+SolveResult solve_kba(const Problem& p, const KbaConfig& cfg, double epsi,
+                      int max_iters) {
+  RR_EXPECTS(epsi > 0.0);
+  SolveResult out;
+  std::vector<double> phi(p.cells(), 0.0);
+  std::vector<double> emission(p.cells());
+  for (int it = 1; it <= max_iters; ++it) {
+    for (std::size_t c = 0; c < p.cells(); ++c)
+      emission[c] = p.source_at(c) + p.sigma_s * phi[c];
+    SweepResult sw = sweep_once_kba(p, emission, cfg);
+    // Relative change with a floor tied to the peak flux, so cells many
+    // mean free paths from the source (flux ~ 0) do not stall convergence.
+    double peak = 0.0;
+    for (const double f : sw.scalar_flux) peak = std::max(peak, std::abs(f));
+    double max_rel = 0.0;
+    for (std::size_t c = 0; c < p.cells(); ++c) {
+      const double denom = std::max(std::abs(sw.scalar_flux[c]), 1e-12 * peak);
+      max_rel = std::max(max_rel, std::abs(sw.scalar_flux[c] - phi[c]) / denom);
+    }
+    phi = sw.scalar_flux;
+    out.leakage = sw.leakage;
+    out.iterations = it;
+    out.residual = max_rel;
+    if (max_rel < epsi) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.scalar_flux = std::move(phi);
+  return out;
+}
+
+}  // namespace rr::sweep

@@ -1,0 +1,60 @@
+#include "sweep/quadrature.hpp"
+
+#include "util/expect.hpp"
+
+namespace rr::sweep {
+
+namespace {
+// Level-symmetric S6 cosines and point weights (normalized so the eight
+// octants' weights sum to exactly one).
+constexpr double kMu1 = 0.2666354015167047;
+constexpr double kMu2 = 0.6815076284884820;
+constexpr double kMu3 = 0.9261808916222912;
+constexpr double kW1 = 0.1761263 / 8.0;  // permutations of (mu3, mu1, mu1)
+constexpr double kW2 = 0.1572071 / 8.0;  // permutations of (mu2, mu2, mu1)
+constexpr double kWSumRaw = 3.0 * kW1 + 3.0 * kW2;  // per octant
+}  // namespace
+
+Octant octant(int id) {
+  RR_EXPECTS(id >= 0 && id < kOctants);
+  Octant o;
+  o.id = id;
+  o.sx = (id & 1) ? -1 : +1;
+  o.sy = (id & 2) ? -1 : +1;
+  o.sz = (id & 4) ? -1 : +1;
+  return o;
+}
+
+std::array<Direction, kAnglesPerOctant> s6_octant_angles() {
+  // Normalize the octant weight sum to exactly 1/8.
+  const double n1 = kW1 / (8.0 * kWSumRaw);
+  const double n2 = kW2 / (8.0 * kWSumRaw);
+  return {{
+      {kMu3, kMu1, kMu1, n1},
+      {kMu1, kMu3, kMu1, n1},
+      {kMu1, kMu1, kMu3, n1},
+      {kMu2, kMu2, kMu1, n2},
+      {kMu2, kMu1, kMu2, n2},
+      {kMu1, kMu2, kMu2, n2},
+  }};
+}
+
+std::vector<Direction> s6_all_angles() {
+  std::vector<Direction> out;
+  out.reserve(kOctants * kAnglesPerOctant);
+  const auto base = s6_octant_angles();
+  for (int oc = 0; oc < kOctants; ++oc) {
+    const Octant o = octant(oc);
+    for (const Direction& d : base)
+      out.push_back(Direction{o.sx * d.mu, o.sy * d.eta, o.sz * d.xi, d.weight});
+  }
+  return out;
+}
+
+double total_weight() {
+  double sum = 0.0;
+  for (const Direction& d : s6_all_angles()) sum += d.weight;
+  return sum;
+}
+
+}  // namespace rr::sweep

@@ -1,0 +1,45 @@
+// Discrete-ordinates (Sn) angular quadrature for the Sweep3D solver.
+//
+// Sweep3D fixes the number of angles per octant at six (Section V.B); the
+// matching level-symmetric set is S6: direction cosines drawn from
+// {0.266636, 0.681508, 0.926181} in the combinations whose squares sum to
+// one, with the standard S6 point weights.  Eight octants x six angles =
+// 48 discrete directions; weights are normalized to sum to exactly 1.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace rr::sweep {
+
+inline constexpr int kOctants = 8;
+inline constexpr int kAnglesPerOctant = 6;
+
+struct Direction {
+  double mu = 0.0;   ///< x cosine (signed)
+  double eta = 0.0;  ///< y cosine (signed)
+  double xi = 0.0;   ///< z cosine (signed)
+  double weight = 0.0;
+};
+
+/// Octant sign convention: bit 0 -> x, bit 1 -> y, bit 2 -> z;
+/// bit set means sweeping in the negative direction.
+struct Octant {
+  int id = 0;
+  int sx = +1;
+  int sy = +1;
+  int sz = +1;
+};
+
+Octant octant(int id);
+
+/// The six positive-octant S6 directions (all cosines positive).
+std::array<Direction, kAnglesPerOctant> s6_octant_angles();
+
+/// All 48 signed directions, octant-major order.
+std::vector<Direction> s6_all_angles();
+
+/// Sum of all 48 weights (== 1 by construction; verified in tests).
+double total_weight();
+
+}  // namespace rr::sweep

@@ -1,0 +1,48 @@
+#include "sweep/schedule.hpp"
+
+#include "util/expect.hpp"
+
+namespace rr::sweep {
+
+int wavefront_step(int pi, int pj, int px, int py, int cx, int cy, int w) {
+  RR_EXPECTS(pi >= 0 && pi < px && pj >= 0 && pj < py);
+  RR_EXPECTS(cx == 0 || cx == 1);
+  RR_EXPECTS(cy == 0 || cy == 1);
+  RR_EXPECTS(w >= 0);
+  const int di = cx == 0 ? pi : px - 1 - pi;
+  const int dj = cy == 0 ? pj : py - 1 - pj;
+  return di + dj + w;
+}
+
+int work_units_per_rank(const ScheduleParams& p) {
+  return p.octants * p.k_blocks * p.angle_blocks;
+}
+
+int total_steps(const ScheduleParams& p) {
+  RR_EXPECTS(p.px >= 1 && p.py >= 1 && p.k_blocks >= 1 && p.angle_blocks >= 1);
+  RR_EXPECTS(p.octants % 2 == 0);
+  // Octants pair up per 2-D sweep direction (the +/- z pair shares the
+  // corner), so there are octants/2 distinct corner entries; consecutive
+  // sweeps from the same corner chain with no refill, and each direction
+  // change pays one pipeline fill.
+  const int fills = p.octants / 2;
+  const int fill_penalty = (p.px - 1) + (p.py - 1);
+  return work_units_per_rank(p) + fills * fill_penalty;
+}
+
+double pipeline_efficiency(const ScheduleParams& p) {
+  const double work = work_units_per_rank(p);
+  return work / static_cast<double>(total_steps(p));
+}
+
+std::vector<std::pair<int, int>> active_cells_2d(int nx, int ny, int step) {
+  RR_EXPECTS(nx >= 1 && ny >= 1 && step >= 0);
+  std::vector<std::pair<int, int>> cells;
+  for (int j = 0; j < ny; ++j) {
+    const int i = step - j;
+    if (i >= 0 && i < nx) cells.emplace_back(i, j);
+  }
+  return cells;
+}
+
+}  // namespace rr::sweep

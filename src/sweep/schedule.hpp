@@ -1,0 +1,41 @@
+// KBA wavefront schedule arithmetic (Fig. 11 and the performance model's
+// step counting).  The unit of pipelined work is one (angle-block,
+// K-block) computation on one rank of the px x py array.
+#pragma once
+
+#include <vector>
+
+namespace rr::sweep {
+
+struct ScheduleParams {
+  int px = 1;            ///< processor array extent in I
+  int py = 1;            ///< processor array extent in J
+  int k_blocks = 1;      ///< K / MK
+  int angle_blocks = 1;  ///< angles per octant / angles per block
+  int octants = 8;
+};
+
+/// Step index (0-based) at which rank (pi, pj) computes work unit `w`
+/// (0-based within one octant sweep) for a sweep entering at corner
+/// (cx, cy) with cx/cy in {0,1} selecting the low/high corner.
+int wavefront_step(int pi, int pj, int px, int py, int cx, int cy, int w);
+
+/// Total pipelined steps for one full iteration: all octants' work units
+/// plus the pipeline fill penalty.  Octant pairs sharing a 2-D sweep
+/// direction chain without re-fill; the four direction reversals each pay
+/// the (px-1)+(py-1) fill (the classic KBA estimate used by the Hoisie
+/// et al. model the paper applies).
+int total_steps(const ScheduleParams& p);
+
+/// Work units computed per rank per iteration (no pipeline accounting).
+int work_units_per_rank(const ScheduleParams& p);
+
+/// Pipeline efficiency: work / (work + fill).
+double pipeline_efficiency(const ScheduleParams& p);
+
+/// The Fig. 11 illustration: which cells of a 1-D/2-D/3-D grid are active
+/// at a given wavefront step for a corner-entry sweep (used by tests and
+/// the topology_explorer example to reproduce the schedule semantics).
+std::vector<std::pair<int, int>> active_cells_2d(int nx, int ny, int step);
+
+}  // namespace rr::sweep

@@ -1,0 +1,67 @@
+// Serial Sweep3D: a single-group, time-independent discrete-ordinates (Sn)
+// neutron transport solver on a 3-D Cartesian grid (Section V.A), using
+// diamond differencing with optional negative-flux fixup and source
+// iteration for isotropic scattering.
+//
+// This is the *functional* layer: real fluxes, real convergence, real
+// conservation -- validated by the physics invariants in tests/sweep_test.
+// Timing at Roadrunner scale comes from the model layer (src/model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sweep/quadrature.hpp"
+#include "util/expect.hpp"
+
+namespace rr::sweep {
+
+/// Problem definition: grid, materials, fixed source.
+struct Problem {
+  int nx = 0, ny = 0, nz = 0;
+  double dx = 1.0, dy = 1.0, dz = 1.0;
+  double sigma_t = 1.0;   ///< total cross section
+  double sigma_s = 0.5;   ///< isotropic scattering cross section
+  /// Fixed isotropic source per cell (size nx*ny*nz; empty = uniform 1.0).
+  std::vector<double> q;
+  bool flux_fixup = true; ///< clamp negative cell fluxes (set-to-zero fixup)
+
+  std::size_t cells() const {
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+  std::size_t idx(int i, int j, int k) const {
+    RR_EXPECTS(i >= 0 && i < nx && j >= 0 && j < ny && k >= 0 && k < nz);
+    return (static_cast<std::size_t>(k) * ny + j) * nx + i;
+  }
+  double source_at(std::size_t cell) const { return q.empty() ? 1.0 : q[cell]; }
+};
+
+/// Result of one full transport sweep (all octants, all angles).
+struct SweepResult {
+  std::vector<double> scalar_flux;   ///< phi per cell
+  double leakage = 0.0;              ///< net outflow through all boundaries
+  std::uint64_t fixups = 0;          ///< negative-flux fixup count
+};
+
+/// Result of a converged source-iteration solve.
+struct SolveResult {
+  std::vector<double> scalar_flux;
+  double leakage = 0.0;
+  int iterations = 0;
+  double residual = 0.0;   ///< max relative change in the last iteration
+  bool converged = false;
+};
+
+/// Perform one sweep with the given emission source (q + sigma_s * phi),
+/// provided per cell.  Vacuum boundaries.
+SweepResult sweep_once(const Problem& p, const std::vector<double>& emission);
+
+/// Source iteration: phi_{n+1} = Sweep(q + sigma_s * phi_n) until the max
+/// relative change drops below `epsi` or `max_iters` is reached.
+SolveResult solve(const Problem& p, double epsi = 1e-6, int max_iters = 200);
+
+/// Particle balance residual at a converged solution:
+/// | total source - absorption - leakage | / total source.
+double balance_residual(const Problem& p, const SolveResult& r);
+
+}  // namespace rr::sweep

@@ -1,0 +1,144 @@
+// Explicit model of the Roadrunner interconnect (Sections II.B-C).
+//
+// Each Compute Unit (CU) contains one Voltaire ISR 9288 switch whose 36
+// 24-port crossbars form a two-level full fat tree: 24 lower crossbars
+// (8 compute/IO nodes + 12 intra-CU channels + 4 inter-CU channels each)
+// and 12 upper crossbars.  Eight more ISR 9288 switches interconnect the
+// 17 CUs in a 2:1 reduced fat tree: within each inter-CU switch, 12
+// first-level crossbars serve CUs 1-12, 12 third-level crossbars serve
+// CUs 13-17, and 12 middle crossbars join the two sides.
+//
+// Routing is deterministic and destination-indexed (InfiniBand-style
+// up*/down* with one path per destination): a message enters the inter-CU
+// fabric only through the lower crossbar whose index matches the
+// destination's lower crossbar.  This is what produces the paper's Table I
+// hop classes (3/5/5/7) -- shortest-path routing would collapse the 7-hop
+// class (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace rr::topo {
+
+/// Global compute-node rank, 0 .. node_count()-1 (node = triblade).
+struct NodeId {
+  int v = -1;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+enum class XbarKind : std::uint8_t {
+  kCuLower,     ///< CU switch, node-facing level
+  kCuUpper,     ///< CU switch, spine level
+  kInterCuL1,   ///< inter-CU switch, first level (CUs 1-12)
+  kInterCuMid,  ///< inter-CU switch, middle level
+  kInterCuL3,   ///< inter-CU switch, last level (CUs 13-17)
+};
+
+/// One 24-port crossbar.
+struct Crossbar {
+  XbarKind kind{};
+  int cu = -1;      ///< owning CU for kCuLower/kCuUpper, else -1
+  int sw = -1;      ///< owning inter-CU switch for kInterCu*, else -1
+  int index = -1;   ///< index within its level
+  std::vector<int> links;           ///< adjacent crossbar ids (sorted)
+  std::vector<int> compute_nodes;   ///< attached compute NodeId values
+  int io_nodes = 0;                 ///< attached I/O node count
+};
+
+/// Where a compute node attaches.
+struct Attachment {
+  int cu = -1;
+  int lower_xbar = -1;  ///< 0..23 within the CU
+  int port = -1;        ///< 0..7 on the crossbar
+};
+
+/// Structural parameters; defaults are the full Roadrunner build.
+struct TopologyParams {
+  int cu_count = 17;
+  int inter_cu_switches = 8;
+  int lower_xbars_per_cu = 24;
+  int upper_xbars_per_cu = 12;
+  int uplinks_per_lower_xbar = 4;
+  int first_level_cus = 12;  ///< CUs beyond this attach to the L3 level
+  int nodes_per_lower_xbar = 8;
+  int compute_nodes_per_cu = 180;  ///< 22 full crossbars + 4 on the shared one
+  int io_nodes_per_cu = 12;        ///< 4 on the shared crossbar + 8 on the last
+  int crossbar_ports = 24;         ///< Voltaire ISR 9288 internal crossbars
+};
+
+class Topology {
+ public:
+  /// Build the full 17-CU Roadrunner fabric.
+  static Topology roadrunner();
+  /// Build a custom configuration (used by tests and what-if studies).
+  static Topology build(const TopologyParams& params);
+
+  int node_count() const { return static_cast<int>(attachments_.size()); }
+  int crossbar_count() const { return static_cast<int>(xbars_.size()); }
+  int cu_count() const { return params_.cu_count; }
+  const TopologyParams& params() const { return params_; }
+
+  const Crossbar& crossbar(int id) const {
+    RR_EXPECTS(id >= 0 && id < crossbar_count());
+    return xbars_[id];
+  }
+  const Attachment& attachment(NodeId n) const {
+    RR_EXPECTS(n.v >= 0 && n.v < node_count());
+    return attachments_[n.v];
+  }
+
+  /// Crossbar ids for the levels (for tests / inspection).
+  int cu_lower_id(int cu, int j) const;
+  int cu_upper_id(int cu, int u) const;
+  int l1_id(int sw, int x) const;
+  int mid_id(int sw, int m) const;
+  int l3_id(int sw, int y) const;
+
+  /// The deterministic route: the sequence of crossbars a message from
+  /// `src` to `dst` traverses.  Empty for src == dst.
+  std::vector<int> route(NodeId src, NodeId dst) const;
+
+  /// Number of crossbar hops on the deterministic route (Table I metric).
+  int hop_count(NodeId src, NodeId dst) const {
+    return static_cast<int>(route(src, dst).size());
+  }
+
+  /// Histogram of hop counts from `src` to every compute node (incl. self).
+  /// Index = hop count, value = number of destinations.
+  std::vector<int> hop_histogram(NodeId src) const;
+
+  /// Average hops from `src` over all destinations including self
+  /// (the paper's Table I average, 5.38).
+  double average_hops(NodeId src) const;
+
+  /// True if crossbars a and b share a cable (used by the route validator).
+  bool adjacent(int a, int b) const;
+
+  /// BFS shortest hop distance in the crossbar graph from src's lower
+  /// crossbar, counting crossbars visited; used by tests to show that the
+  /// deterministic route is never shorter than physics allows.
+  std::vector<int> bfs_crossbar_distance(int xbar_id) const;
+
+  /// Which inter-CU switches a given (cu, lower crossbar) uplinks to.
+  std::vector<int> uplink_switches(int lower_xbar_index) const;
+
+ private:
+  Topology() = default;
+  void add_link(int a, int b);
+  void finalize_links();
+
+  TopologyParams params_;
+  std::vector<Crossbar> xbars_;
+  std::vector<Attachment> attachments_;
+  // id layout offsets
+  int cu_lower_base_ = 0;
+  int cu_upper_base_ = 0;
+  int l1_base_ = 0;
+  int mid_base_ = 0;
+  int l3_base_ = 0;
+};
+
+}  // namespace rr::topo

@@ -1,0 +1,48 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace rr {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      flags_[arg] = "true";  // bare --name is a boolean switch
+    }
+  }
+}
+
+bool CliParser::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliParser::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace rr

@@ -1,0 +1,35 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures().  Violations abort with a source location; they are
+// programming errors, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rr::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace rr::detail
+
+// Precondition: argument/state requirements at function entry.
+#define RR_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::rr::detail::contract_failure("Precondition", #cond, __FILE__, \
+                                           __LINE__))
+
+// Postcondition / internal invariant.
+#define RR_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::rr::detail::contract_failure("Postcondition", #cond, __FILE__, \
+                                           __LINE__))
+
+// General assertion for unreachable states.
+#define RR_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::rr::detail::contract_failure("Assertion", #cond, __FILE__, \
+                                           __LINE__))

@@ -1,0 +1,35 @@
+// Minimal leveled logger.  Benchmarks and examples print structured tables;
+// the logger is for diagnostics from the simulation substrates.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.  Defaults to kWarn so
+/// that test and bench output stays clean.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define RR_LOG(level, ...)                                              \
+  do {                                                                  \
+    if (static_cast<int>(level) >= static_cast<int>(::rr::log_level())) { \
+      std::ostringstream rr_log_os_;                                    \
+      rr_log_os_ << __VA_ARGS__;                                        \
+      ::rr::detail::log_emit(level, rr_log_os_.str());                  \
+    }                                                                   \
+  } while (0)
+
+#define RR_DEBUG(...) RR_LOG(::rr::LogLevel::kDebug, __VA_ARGS__)
+#define RR_INFO(...) RR_LOG(::rr::LogLevel::kInfo, __VA_ARGS__)
+#define RR_WARN(...) RR_LOG(::rr::LogLevel::kWarn, __VA_ARGS__)
+#define RR_ERROR(...) RR_LOG(::rr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace rr

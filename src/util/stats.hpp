@@ -1,0 +1,37 @@
+// Small statistics helpers for benchmark summaries and model validation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rr {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  std::size_t count = 0;
+};
+
+/// Summarize a sample.  Empty input yields an all-zero summary.
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].  Input need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric mean of strictly positive samples.
+double geometric_mean(std::span<const double> xs);
+
+/// Relative error |measured - reference| / |reference|.
+double relative_error(double measured, double reference);
+
+}  // namespace rr

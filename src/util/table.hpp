@@ -1,0 +1,46 @@
+// Plain-text table and CSV emitters used by the benchmark harnesses to print
+// "paper value vs. reproduced value" rows in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rr {
+
+/// A simple column-aligned text table.  All cells are strings; numeric
+/// convenience overloads format with a default precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row.  Cells are appended with add().
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double v, int precision = 3);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+  Table& add(std::size_t v);
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Render as CSV (no alignment, quoted where needed).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by Table users).
+std::string format_double(double v, int precision);
+
+/// Print a section banner used by bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace rr

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "arch/calibration.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory_system.hpp"
+
+namespace rr::mem {
+namespace {
+
+namespace cal = rr::arch::cal;
+
+// ---------------------------------------------------------------------------
+// Cache level mechanics
+// ---------------------------------------------------------------------------
+
+CacheLevelSpec tiny_l1() {
+  return CacheLevelSpec{"L1", DataSize::bytes(1024), 2, DataSize::bytes(64),
+                        Duration::nanoseconds(1)};
+}
+
+TEST(CacheLevel, HitAfterInstall) {
+  CacheLevel c(tiny_l1());
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+}
+
+TEST(CacheLevel, LruEvictsOldest) {
+  CacheLevel c(tiny_l1());  // 1024/64 = 16 lines, 2-way, 8 sets
+  // Three lines mapping to set 0: line addresses 0, 8, 16 (stride 8 lines).
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(8 * 64));
+  EXPECT_FALSE(c.access(16 * 64));  // evicts line 0
+  EXPECT_FALSE(c.access(0));        // line 0 gone
+  EXPECT_TRUE(c.access(16 * 64));   // still resident
+}
+
+TEST(CacheLevel, CountersTrackAccesses) {
+  CacheLevel c(tiny_l1());
+  c.access(0);
+  c.access(0);
+  c.access(0);
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheHierarchy, ServiceLevelDependsOnFootprint) {
+  std::vector<CacheLevelSpec> levels = {
+      tiny_l1(),
+      CacheLevelSpec{"L2", DataSize::bytes(8192), 4, DataSize::bytes(64),
+                     Duration::nanoseconds(5)}};
+  CacheHierarchy h(levels, Duration::nanoseconds(50));
+  // First touch misses everywhere.
+  EXPECT_EQ(h.access_level(0), 2u);
+  // Second touch hits L1.
+  EXPECT_EQ(h.access_level(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// memtime pointer chase
+// ---------------------------------------------------------------------------
+
+TEST(Memtime, SmallFootprintSeesL1Latency) {
+  const MemoryModel m(opteron_memory_system());
+  const Duration lat = m.memtime_latency_trace(DataSize::kib(16));
+  EXPECT_NEAR(lat.ns(), m.spec().caches[0].hit_latency.ns(), 0.2);
+}
+
+TEST(Memtime, MidFootprintSeesL2Latency) {
+  const MemoryModel m(opteron_memory_system());
+  const Duration lat = m.memtime_latency_trace(DataSize::kib(512));
+  EXPECT_NEAR(lat.ns(), m.spec().caches[1].hit_latency.ns(), 1.0);
+}
+
+TEST(Memtime, LargeFootprintSeesMemoryLatency) {
+  const MemoryModel m(opteron_memory_system());
+  const Duration lat = m.memtime_latency_trace(DataSize::mib(32));
+  EXPECT_NEAR(lat.ns(), cal::kAnchorMemLatOpteron.ns(), 1.5);
+}
+
+TEST(Memtime, AnalyticMatchesTraceAtLevelCenters) {
+  const MemoryModel m(opteron_memory_system());
+  for (const auto fp : {DataSize::kib(8), DataSize::kib(256), DataSize::mib(64)}) {
+    const double analytic = m.memtime_latency(fp).ns();
+    const double trace = m.memtime_latency_trace(fp).ns();
+    EXPECT_NEAR(trace, analytic, analytic * 0.15 + 0.5) << "footprint " << fp.b();
+  }
+}
+
+TEST(Memtime, SweepIsMonotoneNondecreasing) {
+  const MemoryModel m(ppe_memory_system());
+  const auto sweep = m.memtime_sweep(DataSize::kib(4), DataSize::mib(64));
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_GE(sweep[i].latency.ps(), sweep[i - 1].latency.ps());
+}
+
+// ---------------------------------------------------------------------------
+// Table III: Streams TRIAD + latency
+// ---------------------------------------------------------------------------
+
+TEST(TableIII, OpteronStreamsTriad) {
+  const MemoryModel m(opteron_memory_system());
+  EXPECT_NEAR(m.streams_triad_reported().gbps(), cal::kAnchorStreamsOpteron.gbps(),
+              cal::kAnchorStreamsOpteron.gbps() * 0.05);
+}
+
+TEST(TableIII, PpeStreamsTriad) {
+  const MemoryModel m(ppe_memory_system());
+  EXPECT_NEAR(m.streams_triad_reported().gbps(), cal::kAnchorStreamsPpe.gbps(),
+              cal::kAnchorStreamsPpe.gbps() * 0.05);
+}
+
+TEST(TableIII, SpeLocalStoreTriad) {
+  EXPECT_NEAR(spe_local_store_triad().gbps(), cal::kAnchorStreamsSpe.gbps(),
+              cal::kAnchorStreamsSpe.gbps() * 0.10);
+}
+
+TEST(TableIII, MemtimeLatencies) {
+  const MemoryModel opteron(opteron_memory_system());
+  const MemoryModel ppe(ppe_memory_system());
+  EXPECT_NEAR(opteron.memtime_latency(DataSize::mib(64)).ns(),
+              cal::kAnchorMemLatOpteron.ns(), 0.01);
+  EXPECT_NEAR(ppe.memtime_latency(DataSize::mib(64)).ns(),
+              cal::kAnchorMemLatPpe.ns(), 0.01);
+  EXPECT_NEAR(spe_local_store_memtime().ns(), cal::kAnchorMemLatSpe.ns(),
+              cal::kAnchorMemLatSpe.ns() * 0.10);
+}
+
+TEST(TableIII, PpeIsTheBottleneckProcessor) {
+  // The paper's conclusion: PPE streams bandwidth is far below both the
+  // Opteron's and the SPE's despite the fastest DRAM interface.
+  const MemoryModel opteron(opteron_memory_system());
+  const MemoryModel ppe(ppe_memory_system());
+  EXPECT_LT(ppe.streams_triad_reported().gbps(),
+            opteron.streams_triad_reported().gbps() / 4.0);
+  EXPECT_LT(ppe.streams_triad_reported().gbps(), spe_local_store_triad().gbps() / 20.0);
+}
+
+TEST(TableIII, SustainedNeverExceedsInterfacePeak) {
+  for (const auto& spec : {opteron_memory_system(), ppe_memory_system()}) {
+    const MemoryModel m(spec);
+    EXPECT_LE(m.sustained_bandwidth().bps(), spec.interface_peak.bps());
+  }
+}
+
+TEST(TableIII, WriteAllocateDiscountIsThreeQuarters) {
+  MemorySystemSpec spec = opteron_memory_system();
+  const MemoryModel with(spec);
+  spec.write_allocate = false;
+  const MemoryModel without(spec);
+  EXPECT_NEAR(with.streams_triad_reported().bps() / without.streams_triad_reported().bps(),
+              0.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace rr::mem

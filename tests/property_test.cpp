@@ -1,0 +1,328 @@
+// Property-based and parameterized sweeps over the substrates: invariants
+// that must hold for ALL configurations, not just the paper's points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "comm/channel.hpp"
+#include "mem/cache.hpp"
+#include "spu/pipeline.hpp"
+#include "sweep/solver.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Topology invariants over all CU counts
+// ---------------------------------------------------------------------------
+
+class TopologyInvariants : public ::testing::TestWithParam<int> {
+ protected:
+  topo::Topology build() const {
+    topo::TopologyParams p;
+    p.cu_count = GetParam();
+    return topo::Topology::build(p);
+  }
+};
+
+TEST_P(TopologyInvariants, HistogramAccountsForEveryNode) {
+  const topo::Topology t = build();
+  const auto hist = t.hop_histogram(topo::NodeId{0});
+  int total = 0;
+  for (const int c : hist) total += c;
+  EXPECT_EQ(total, t.node_count());
+}
+
+TEST_P(TopologyInvariants, HopCountsAreOddOrZero) {
+  // Every route visits alternating levels, so crossbar counts are odd
+  // (source and destination crossbars included) except self = 0.
+  const topo::Topology t = build();
+  const auto hist = t.hop_histogram(topo::NodeId{0});
+  for (std::size_t h = 0; h < hist.size(); ++h) {
+    if (h == 0) continue;
+    if (h % 2 == 0) EXPECT_EQ(hist[h], 0) << "even hop count " << h;
+  }
+}
+
+TEST_P(TopologyInvariants, MaxHopsIsSeven) {
+  const topo::Topology t = build();
+  EXPECT_LE(t.hop_histogram(topo::NodeId{0}).size(), 8u);
+}
+
+TEST_P(TopologyInvariants, RandomRoutesAreValidAndSymmetricInLength) {
+  const topo::Topology t = build();
+  Rng rng(GetParam() * 1000 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int a = static_cast<int>(rng.next_below(t.node_count()));
+    const int b = static_cast<int>(rng.next_below(t.node_count()));
+    const auto path = t.route(topo::NodeId{a}, topo::NodeId{b});
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      ASSERT_TRUE(t.adjacent(path[i], path[i + 1])) << a << "->" << b;
+    const std::set<int> unique(path.begin(), path.end());
+    ASSERT_EQ(unique.size(), path.size()) << "loop " << a << "->" << b;
+    EXPECT_EQ(t.hop_count(topo::NodeId{a}, topo::NodeId{b}),
+              t.hop_count(topo::NodeId{b}, topo::NodeId{a}));
+  }
+}
+
+TEST_P(TopologyInvariants, FirstHopIsAlwaysTheSourceCrossbar) {
+  const topo::Topology t = build();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int a = static_cast<int>(rng.next_below(t.node_count()));
+    int b = static_cast<int>(rng.next_below(t.node_count()));
+    if (a == b) b = (b + 1) % t.node_count();
+    const auto path = t.route(topo::NodeId{a}, topo::NodeId{b});
+    const topo::Attachment& att = t.attachment(topo::NodeId{a});
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), t.cu_lower_id(att.cu, att.lower_xbar));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CuCounts, TopologyInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 13, 15, 17),
+                         [](const auto& inf) {
+                           return "cus" + std::to_string(inf.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// SPU pipeline invariants over random programs
+// ---------------------------------------------------------------------------
+
+spu::Program random_program(Rng& rng, int length) {
+  spu::Program p;
+  p.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    const auto cls = static_cast<spu::IClass>(rng.next_below(spu::kNumIClasses));
+    const int dst = 16 + static_cast<int>(rng.next_below(64));
+    const int src = rng.next_double() < 0.5 ? 16 + static_cast<int>(rng.next_below(64))
+                                            : 8;  // r8 always ready
+    p.push_back(spu::op(cls, dst, src));
+  }
+  return p;
+}
+
+class SpuRandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpuRandomPrograms, DeterministicAndBounded) {
+  Rng rng(GetParam());
+  const spu::Program p = random_program(rng, 64);
+  const spu::SpuPipeline pxc{spu::PipelineSpec::powerxcell_8i()};
+  const auto a = pxc.run(p, 4);
+  const auto b = pxc.run(p, 4);
+  EXPECT_EQ(a.cycles, b.cycles);  // determinism
+
+  // Lower bound: dual issue means at most 2 instructions per cycle, and
+  // each pipe retires at most one per cycle.
+  std::uint64_t even = 0, odd = 0;
+  for (int rep = 0; rep < 4; ++rep)
+    for (const auto& in : p)
+      (spu::pipe_of(in.cls) == spu::Pipe::kEven ? even : odd) += 1;
+  EXPECT_GE(a.cycles, (even + odd + 1) / 2);
+  EXPECT_GE(a.cycles, std::max(even, odd));
+  // Sanity upper bound: no instruction can take more than latency+stall
+  // cycles on its own.
+  EXPECT_LE(a.cycles, (even + odd) * 20);
+}
+
+TEST_P(SpuRandomPrograms, CellBeNeverFasterThanPowerXCell) {
+  Rng rng(GetParam() + 999);
+  const spu::Program p = random_program(rng, 48);
+  const spu::SpuPipeline pxc{spu::PipelineSpec::powerxcell_8i()};
+  const spu::SpuPipeline cbe{spu::PipelineSpec::cell_be()};
+  EXPECT_LE(pxc.run(p, 4).cycles, cbe.run(p, 4).cycles);
+}
+
+TEST_P(SpuRandomPrograms, MoreIterationsNeverCheaper) {
+  Rng rng(GetParam() + 5);
+  const spu::Program p = random_program(rng, 32);
+  const spu::SpuPipeline pxc{spu::PipelineSpec::powerxcell_8i()};
+  EXPECT_LE(pxc.run(p, 2).cycles, pxc.run(p, 4).cycles);
+  EXPECT_LE(pxc.run(p, 4).cycles, pxc.run(p, 8).cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpuRandomPrograms, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Channel model invariants over all presets
+// ---------------------------------------------------------------------------
+
+class ChannelInvariants : public ::testing::TestWithParam<comm::ChannelParams> {};
+
+TEST_P(ChannelInvariants, TimeMonotonePerProtocolRegime) {
+  // Real stacks have a discontinuity at the eager/rendezvous threshold
+  // (a fixed implementation choice, not a per-message optimization), so
+  // monotonicity is only guaranteed within each regime.
+  const comm::ChannelModel ch(GetParam());
+  const std::int64_t threshold = GetParam().eager_threshold.b();
+  Duration prev = Duration::zero();
+  for (std::int64_t n = 1; n <= threshold; n *= 2) {
+    const Duration t = ch.one_way(DataSize::bytes(n));
+    EXPECT_GE(t.ps(), prev.ps()) << "eager n=" << n;
+    prev = t;
+  }
+  prev = Duration::zero();
+  for (std::int64_t n = threshold + 1; n <= (1 << 22); n *= 2) {
+    const Duration t = ch.one_way(DataSize::bytes(n));
+    EXPECT_GE(t.ps(), prev.ps()) << "rendezvous n=" << n;
+    prev = t;
+  }
+}
+
+TEST_P(ChannelInvariants, BandwidthNeverExceedsTheFasterRegime) {
+  const comm::ChannelModel ch(GetParam());
+  const double cap = std::max(GetParam().eager_bandwidth.bps(),
+                              GetParam().rendezvous_bandwidth.bps());
+  for (std::int64_t n = 1; n <= (1 << 22); n *= 2)
+    EXPECT_LE(ch.uni_bandwidth(DataSize::bytes(n)).bps(), cap * 1.0001) << n;
+}
+
+TEST_P(ChannelInvariants, BidirNeverBeatsTwiceUnidirectional) {
+  const comm::ChannelModel ch(GetParam());
+  for (std::int64_t n = 64; n <= (1 << 21); n *= 8) {
+    const DataSize d = DataSize::bytes(n);
+    EXPECT_LE(ch.bidir_bandwidth_sum(d).bps(), 2.0 * ch.uni_bandwidth(d).bps() * 1.0001)
+        << "n=" << n;
+  }
+}
+
+TEST_P(ChannelInvariants, ZeroByteIsPureLatency) {
+  const comm::ChannelModel ch(GetParam());
+  EXPECT_EQ(ch.one_way(DataSize::zero()).ps(), GetParam().latency.ps());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, ChannelInvariants,
+    ::testing::Values(comm::dacs_pcie(), comm::mpi_infiniband(true),
+                      comm::mpi_infiniband(false), comm::mpi_infiniband_pinned(),
+                      comm::cml_eib(), comm::pcie_raw(), comm::hypertransport()),
+    [](const auto& inf) {
+      std::string name = inf.param.name;
+      for (auto& ch : name)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Cache simulator invariants
+// ---------------------------------------------------------------------------
+
+TEST(CacheProperties, HitsPlusMissesEqualsAccesses) {
+  mem::CacheLevel c(mem::CacheLevelSpec{"L1", DataSize::kib(8), 4,
+                                        DataSize::bytes(64), Duration::nanoseconds(1)});
+  Rng rng(11);
+  const int accesses = 5000;
+  for (int i = 0; i < accesses; ++i) c.access(rng.next_below(1 << 16));
+  EXPECT_EQ(c.hits() + c.misses(), static_cast<std::uint64_t>(accesses));
+}
+
+TEST(CacheProperties, BiggerCacheNeverHitsLess) {
+  auto run = [](std::int64_t kib) {
+    mem::CacheLevel c(mem::CacheLevelSpec{"L", DataSize::kib(static_cast<double>(kib)),
+                                          4, DataSize::bytes(64),
+                                          Duration::nanoseconds(1)});
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i) c.access(rng.next_below(1 << 17));
+    return c.hits();
+  };
+  EXPECT_LE(run(8), run(32));
+  EXPECT_LE(run(32), run(128));
+  EXPECT_LE(run(128), run(512));
+}
+
+TEST(CacheProperties, SequentialFitWorkingSetAlwaysHitsAfterWarm) {
+  mem::CacheLevel c(mem::CacheLevelSpec{"L1", DataSize::kib(16), 4,
+                                        DataSize::bytes(64), Duration::nanoseconds(1)});
+  for (int lap = 0; lap < 3; ++lap)
+    for (std::uint64_t a = 0; a < 8 * 1024; a += 64) c.access(a);
+  c.reset_counters();
+  for (std::uint64_t a = 0; a < 8 * 1024; a += 64) c.access(a);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transport solver properties over parameter sweeps
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  double sigma_t;
+  double sigma_s;
+};
+
+class SolverProperties : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SolverProperties, ConvergesWithPositiveBalancedFlux) {
+  sweep::Problem p;
+  p.nx = p.ny = p.nz = 6;
+  p.dx = p.dy = p.dz = 0.8;
+  p.sigma_t = GetParam().sigma_t;
+  p.sigma_s = GetParam().sigma_s;
+  const sweep::SolveResult r = sweep::solve(p, 1e-9, 800);
+  ASSERT_TRUE(r.converged);
+  for (const double f : r.scalar_flux) EXPECT_GT(f, 0.0);
+  EXPECT_LT(sweep::balance_residual(p, r), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrossSections, SolverProperties,
+    ::testing::Values(SweepCase{0.5, 0.0}, SweepCase{1.0, 0.3}, SweepCase{1.0, 0.9},
+                      SweepCase{2.0, 1.0}, SweepCase{5.0, 2.5}, SweepCase{0.1, 0.05}),
+    [](const auto& inf) {
+      return "st" + std::to_string(static_cast<int>(inf.param.sigma_t * 10)) + "ss" +
+             std::to_string(static_cast<int>(inf.param.sigma_s * 10));
+    });
+
+TEST(SolverProperties, MoreScatteringNeedsMoreIterations) {
+  sweep::Problem low;
+  low.nx = low.ny = low.nz = 6;
+  low.sigma_s = 0.2;
+  sweep::Problem high = low;
+  high.sigma_s = 0.9;
+  EXPECT_LT(sweep::solve(low, 1e-9, 500).iterations,
+            sweep::solve(high, 1e-9, 500).iterations);
+}
+
+TEST(SolverProperties, SourceIncreaseRaisesFluxGloballyDespiteDdRinging) {
+  // The exact transport operator is monotone in the source.  Diamond
+  // differencing, however, rings spatially around a localized source
+  // (cells neighboring the spike can dip by ~0.1% -- a textbook DD
+  // property), so the guaranteed discrete invariants are: the integrated
+  // flux grows, the source cell's flux grows, and any local dips are tiny.
+  sweep::Problem p;
+  p.nx = p.ny = p.nz = 6;
+  p.flux_fixup = false;
+  const auto base = sweep::solve(p, 1e-11, 500);
+  sweep::Problem boosted = p;
+  boosted.q.assign(p.cells(), 1.0);
+  boosted.q[p.idx(3, 3, 3)] = 5.0;  // extra source in one cell
+  const auto more = sweep::solve(boosted, 1e-11, 500);
+
+  double base_total = 0.0, more_total = 0.0;
+  for (std::size_t c = 0; c < p.cells(); ++c) {
+    base_total += base.scalar_flux[c];
+    more_total += more.scalar_flux[c];
+    EXPECT_GE(more.scalar_flux[c], base.scalar_flux[c] * 0.90) << c;  // ringing bound
+  }
+  EXPECT_GT(more_total, base_total);
+  EXPECT_GT(more.scalar_flux[p.idx(3, 3, 3)], base.scalar_flux[p.idx(3, 3, 3)] * 1.5);
+}
+
+TEST(SolverProperties, UniformSourceScalingIsExactlyMonotone) {
+  // Without spatial gradients there is no DD ringing: scaling a uniform
+  // source raises every cell's flux.
+  sweep::Problem p;
+  p.nx = p.ny = p.nz = 6;
+  p.flux_fixup = false;
+  const auto base = sweep::solve(p, 1e-11, 500);
+  sweep::Problem boosted = p;
+  boosted.q.assign(p.cells(), 1.5);
+  const auto more = sweep::solve(boosted, 1e-11, 500);
+  for (std::size_t c = 0; c < p.cells(); ++c)
+    EXPECT_GT(more.scalar_flux[c], base.scalar_flux[c]) << c;
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topo/topology.hpp"
+
+namespace rr::topo {
+namespace {
+
+const Topology& full() {
+  static const Topology t = Topology::roadrunner();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Structure
+// ---------------------------------------------------------------------------
+
+TEST(Topology, SizesMatchPaper) {
+  const Topology& t = full();
+  EXPECT_EQ(t.node_count(), 3060);
+  EXPECT_EQ(t.cu_count(), 17);
+  // 17 CUs x 36 crossbars + 8 switches x 36 crossbars = 900.
+  EXPECT_EQ(t.crossbar_count(), 900);
+}
+
+TEST(Topology, LowerCrossbarPopulation) {
+  const Topology& t = full();
+  for (int cu = 0; cu < t.cu_count(); ++cu) {
+    int compute = 0, io = 0, full8 = 0, mixed = 0, io8 = 0;
+    for (int j = 0; j < 24; ++j) {
+      const Crossbar& x = t.crossbar(t.cu_lower_id(cu, j));
+      compute += static_cast<int>(x.compute_nodes.size());
+      io += x.io_nodes;
+      if (x.compute_nodes.size() == 8 && x.io_nodes == 0) ++full8;
+      if (x.compute_nodes.size() == 4 && x.io_nodes == 4) ++mixed;
+      if (x.compute_nodes.empty() && x.io_nodes == 8) ++io8;
+    }
+    EXPECT_EQ(compute, 180);
+    EXPECT_EQ(io, 12);
+    EXPECT_EQ(full8, 22);  // "22 of the lower level crossbars have 8 nodes"
+    EXPECT_EQ(mixed, 1);   // "one crossbar has 4 compute nodes and 4 I/O"
+    EXPECT_EQ(io8, 1);     // "the last crossbar has 8 I/O nodes"
+  }
+}
+
+TEST(Topology, PortBudgetsRespected) {
+  const Topology& t = full();
+  for (int id = 0; id < t.crossbar_count(); ++id) {
+    const Crossbar& x = t.crossbar(id);
+    const int ports = static_cast<int>(x.links.size()) +
+                      static_cast<int>(x.compute_nodes.size()) + x.io_nodes;
+    EXPECT_LE(ports, 24) << "crossbar " << id;
+  }
+}
+
+TEST(Topology, CuFatTreeIsFull) {
+  const Topology& t = full();
+  // Every lower crossbar connects to every upper crossbar within its CU.
+  for (int j = 0; j < 24; ++j)
+    for (int u = 0; u < 12; ++u)
+      EXPECT_TRUE(t.adjacent(t.cu_lower_id(3, j), t.cu_upper_id(3, u)));
+  // ... and never to another CU's upper crossbars.
+  EXPECT_FALSE(t.adjacent(t.cu_lower_id(3, 0), t.cu_upper_id(4, 0)));
+}
+
+TEST(Topology, EachCuHas96Uplinks) {
+  const Topology& t = full();
+  // 24 lower crossbars x 4 uplinks = 96 uplinks; 12 land on each of the 8
+  // inter-CU switches (Section II.B).
+  std::map<int, int> per_switch;
+  for (int j = 0; j < 24; ++j) {
+    const auto switches = t.uplink_switches(j);
+    EXPECT_EQ(switches.size(), 4u);
+    for (int s : switches) ++per_switch[s];
+  }
+  EXPECT_EQ(per_switch.size(), 8u);
+  for (const auto& [sw, count] : per_switch) EXPECT_EQ(count, 12) << "switch " << sw;
+}
+
+TEST(Topology, InterCuSwitchInternalWiring) {
+  const Topology& t = full();
+  for (int x = 0; x < 12; ++x)
+    for (int m = 0; m < 12; ++m) {
+      EXPECT_TRUE(t.adjacent(t.l1_id(0, x), t.mid_id(0, m)));
+      EXPECT_TRUE(t.adjacent(t.l3_id(0, x), t.mid_id(0, m)));
+    }
+  EXPECT_FALSE(t.adjacent(t.l1_id(0, 0), t.l3_id(0, 0)));
+  EXPECT_FALSE(t.adjacent(t.l1_id(0, 0), t.l1_id(1, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Routing invariants
+// ---------------------------------------------------------------------------
+
+TEST(Routing, SelfRouteIsEmpty) {
+  EXPECT_TRUE(full().route(NodeId{0}, NodeId{0}).empty());
+  EXPECT_EQ(full().hop_count(NodeId{17}, NodeId{17}), 0);
+}
+
+TEST(Routing, EveryRouteEdgeExists) {
+  const Topology& t = full();
+  // Spot-check a spread of destination classes from several sources.
+  const int sources[] = {0, 7, 176, 180 * 5 + 33, 180 * 12, 180 * 16 + 179};
+  for (int s : sources) {
+    for (int d = 0; d < t.node_count(); d += 97) {
+      const auto path = t.route(NodeId{s}, NodeId{d});
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        ASSERT_TRUE(t.adjacent(path[i], path[i + 1]))
+            << "broken cable on route " << s << " -> " << d << " at hop " << i;
+    }
+  }
+}
+
+TEST(Routing, RoutesAreLoopFree) {
+  const Topology& t = full();
+  for (int d = 0; d < t.node_count(); d += 61) {
+    const auto path = t.route(NodeId{5}, NodeId{d});
+    const std::set<int> unique(path.begin(), path.end());
+    EXPECT_EQ(unique.size(), path.size()) << "loop on route to " << d;
+  }
+}
+
+TEST(Routing, RouteEndsAtDestinationCrossbar) {
+  const Topology& t = full();
+  for (int d : {1, 200, 999, 2160, 3059}) {
+    const auto path = t.route(NodeId{0}, NodeId{d});
+    ASSERT_FALSE(path.empty());
+    const Attachment& att = t.attachment(NodeId{d});
+    EXPECT_EQ(path.back(), t.cu_lower_id(att.cu, att.lower_xbar));
+  }
+}
+
+TEST(Routing, HopCountIsSymmetric) {
+  const Topology& t = full();
+  for (int a = 0; a < t.node_count(); a += 401)
+    for (int b = 0; b < t.node_count(); b += 577)
+      EXPECT_EQ(t.hop_count(NodeId{a}, NodeId{b}), t.hop_count(NodeId{b}, NodeId{a}));
+}
+
+TEST(Routing, DeterministicRouteNeverBeatsBfs) {
+  const Topology& t = full();
+  const Attachment& src = t.attachment(NodeId{0});
+  const auto dist = t.bfs_crossbar_distance(t.cu_lower_id(src.cu, src.lower_xbar));
+  for (int d = 1; d < t.node_count(); d += 131) {
+    const Attachment& att = t.attachment(NodeId{d});
+    const int bfs = dist[t.cu_lower_id(att.cu, att.lower_xbar)];
+    EXPECT_GE(t.hop_count(NodeId{0}, NodeId{d}), bfs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table I reproduction
+// ---------------------------------------------------------------------------
+
+TEST(TableI, HopHistogramFromNode0) {
+  const Topology& t = full();
+  const std::vector<int> hist = t.hop_histogram(NodeId{0});
+  ASSERT_GE(hist.size(), 8u);
+  EXPECT_EQ(hist[0], 1);            // self
+  EXPECT_EQ(hist[1], 7);            // same crossbar
+  EXPECT_EQ(hist[3], 172 + 88);     // same CU + CUs 2-12 same crossbar
+  EXPECT_EQ(hist[5], 1892 + 40);    // CUs 2-12 diff crossbar + CUs 13-17 same
+  EXPECT_EQ(hist[7], 860);          // CUs 13-17 different crossbar
+  EXPECT_EQ(hist[2], 0);
+  EXPECT_EQ(hist[4], 0);
+  EXPECT_EQ(hist[6], 0);
+}
+
+TEST(TableI, AverageHopsIs538) {
+  EXPECT_NEAR(full().average_hops(NodeId{0}), 5.38, 0.005);
+}
+
+TEST(TableI, HistogramHoldsForOtherFirstSideSources) {
+  // The hop-class structure is source-independent within CUs 1-12.
+  const Topology& t = full();
+  const std::vector<int> hist = t.hop_histogram(NodeId{180 * 7 + 42});
+  EXPECT_EQ(hist[1], 7);
+  EXPECT_EQ(hist[3], 260);
+  EXPECT_EQ(hist[7], 860);
+}
+
+TEST(TableI, LastFiveCuSourceSeesMirroredClasses) {
+  // From a CU 13-17 node: CUs 1-12 are the "far side" (through the middle
+  // level); the other four last-side CUs are near.
+  const Topology& t = full();
+  const std::vector<int> hist = t.hop_histogram(NodeId{180 * 14});
+  EXPECT_EQ(hist[0], 1);
+  EXPECT_EQ(hist[1], 7);
+  // same CU (172) + 4 last-side CUs same crossbar (32): 3 hops
+  EXPECT_EQ(hist[3], 172 + 32);
+  // last-side diff crossbar (4*172) + first-side same crossbar (12*8): 5 hops
+  EXPECT_EQ(hist[5], 4 * 172 + 96);
+  // first-side different crossbar: 12 * 172 = 2064 at 7 hops
+  EXPECT_EQ(hist[7], 2064);
+}
+
+// ---------------------------------------------------------------------------
+// Custom (reduced) topologies
+// ---------------------------------------------------------------------------
+
+TEST(CustomTopology, TwoCuSystemHasNoSevenHopRoutes) {
+  TopologyParams p;
+  p.cu_count = 2;
+  const Topology t = Topology::build(p);
+  EXPECT_EQ(t.node_count(), 360);
+  const std::vector<int> hist = t.hop_histogram(NodeId{0});
+  EXPECT_EQ(hist.size(), 6u);  // max 5 hops when all CUs are on the L1 side
+  EXPECT_EQ(hist[5], 172);     // other CU, different crossbar
+  EXPECT_EQ(hist[3], 172 + 8); // same CU + other CU same crossbar
+}
+
+TEST(CustomTopology, ThirteenCuSystemHasBothSides) {
+  TopologyParams p;
+  p.cu_count = 13;
+  const Topology t = Topology::build(p);
+  const std::vector<int> hist = t.hop_histogram(NodeId{0});
+  ASSERT_GE(hist.size(), 8u);
+  EXPECT_EQ(hist[7], 172);  // exactly one far-side CU
+  EXPECT_EQ(hist[5], 11 * 172 + 8);
+}
+
+TEST(CustomTopology, AverageHopsGrowsWithCuCount) {
+  TopologyParams small;
+  small.cu_count = 4;
+  TopologyParams big;
+  big.cu_count = 17;
+  const double avg_small = Topology::build(small).average_hops(NodeId{0});
+  const double avg_big = Topology::build(big).average_hops(NodeId{0});
+  EXPECT_LT(avg_small, avg_big);
+}
+
+}  // namespace
+}  // namespace rr::topo

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cml/cml.hpp"
+#include "sim/trace.hpp"
+
+namespace rr::sim {
+namespace {
+
+TEST(TraceRecorder, SpansAndInstantsAreCounted) {
+  TraceRecorder tr;
+  const auto a = tr.begin("xfer", "link0", TimePoint::from_ps(1000));
+  tr.instant("tick", "clock", TimePoint::from_ps(1500));
+  EXPECT_EQ(tr.size(), 2u);
+  EXPECT_EQ(tr.open_spans(), 1u);
+  tr.end(a, TimePoint::from_ps(3000));
+  EXPECT_EQ(tr.open_spans(), 0u);
+}
+
+TEST(TraceRecorder, OutOfOrderEndIsAllowed) {
+  TraceRecorder tr;
+  const auto a = tr.begin("first", "t", TimePoint::from_ps(0));
+  const auto b = tr.begin("second", "t", TimePoint::from_ps(10));
+  tr.end(b, TimePoint::from_ps(20));
+  tr.end(a, TimePoint::from_ps(30));
+  EXPECT_EQ(tr.open_spans(), 0u);
+}
+
+TEST(TraceRecorder, JsonHasChromeTraceShape) {
+  TraceRecorder tr;
+  const auto a = tr.begin("dacs 4096B", "pcie/node0.cell1", TimePoint::from_ps(2'000'000));
+  tr.end(a, TimePoint::from_ps(5'000'000));
+  tr.instant("barrier", "ranks", TimePoint::from_ps(6'000'000));
+  std::ostringstream os;
+  tr.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);   // track metadata
+  EXPECT_NE(json.find("pcie/node0.cell1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3"), std::string::npos);      // 3 us
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceRecorder, EscapesQuotesInNames) {
+  TraceRecorder tr;
+  tr.instant("say \"hi\"", "t", TimePoint::from_ps(0));
+  std::ostringstream os;
+  tr.write_json(os);
+  EXPECT_NE(os.str().find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(TraceRecorder, CmlRunProducesLinkSpans) {
+  topo::TopologyParams tp;
+  tp.cu_count = 1;
+  const topo::Topology topo = topo::Topology::build(tp);
+  Simulator simulator;
+  cml::CmlConfig config;
+  config.nodes = 2;
+  config.cells_per_node = 2;
+  config.spes_per_cell = 2;
+  cml::CmlWorld world(simulator, topo, config);
+  TraceRecorder tr;
+  world.network().attach_trace(&tr);
+
+  world.run([&](cml::CmlContext ctx) -> sim::Task<void> {
+    if (ctx.rank() == 0) {
+      std::vector<double> v(4, 1.0);
+      co_await ctx.send(world.size() - 1, 1, std::move(v));  // cross-node
+    } else if (ctx.rank() == world.size() - 1) {
+      co_await ctx.recv(0, 1);
+    }
+    co_return;
+  });
+
+  EXPECT_GE(tr.size(), 3u);  // dacs up, ib, dacs down at least
+  EXPECT_EQ(tr.open_spans(), 0u);
+  std::ostringstream os;
+  tr.write_json(os);
+  EXPECT_NE(os.str().find("ib/node0"), std::string::npos);
+  EXPECT_NE(os.str().find("pcie/node0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rr::sim

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace rr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+TEST(Units, DurationConversionsRoundTrip) {
+  const Duration d = Duration::microseconds(3.19);
+  EXPECT_EQ(d.ps(), 3'190'000);
+  EXPECT_DOUBLE_EQ(d.us(), 3.19);
+  EXPECT_DOUBLE_EQ(d.ns(), 3190.0);
+}
+
+TEST(Units, DurationArithmeticIsExact) {
+  const Duration a = Duration::nanoseconds(220);
+  EXPECT_EQ((a * 7).ps(), 220'000 * 7);
+  EXPECT_EQ((a + a - a).ps(), a.ps());
+}
+
+TEST(Units, DurationComparisons) {
+  EXPECT_LT(Duration::nanoseconds(1), Duration::microseconds(1));
+  EXPECT_EQ(Duration::microseconds(1), Duration::nanoseconds(1000));
+  EXPECT_GT(Duration::seconds(1), Duration::milliseconds(999));
+}
+
+TEST(Units, TimePointDifferenceIsDuration) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::microseconds(5);
+  EXPECT_EQ((t1 - t0).us(), 5.0);
+}
+
+TEST(Units, BandwidthAndTransferTime) {
+  const Bandwidth bw = Bandwidth::gb_per_sec(2.0);
+  const Duration t = transfer_time(DataSize::bytes(2'000'000), bw);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.0);
+  const Bandwidth back = achieved_bandwidth(DataSize::bytes(2'000'000), t);
+  EXPECT_NEAR(back.gbps(), 2.0, 1e-9);
+}
+
+TEST(Units, FrequencyCycles) {
+  const Frequency f = Frequency::ghz(3.2);
+  EXPECT_NEAR(f.cycles(3.2e9).sec(), 1.0, 1e-9);
+  EXPECT_NEAR(f.period().ps(), 312.5, 0.5);  // rounded to ps grid
+}
+
+TEST(Units, FlopRateRollup) {
+  const FlopRate spe = FlopRate::gflops(12.8);
+  EXPECT_NEAR((spe * 8).in_gflops(), 102.4, 1e-9);
+  EXPECT_NEAR(FlopRate::pflops(1.38).in_gflops(), 1.38e6, 1e-3);
+}
+
+TEST(Units, DataSizeDecimalAndBinary) {
+  EXPECT_EQ(DataSize::kib(256).b(), 262144);
+  EXPECT_DOUBLE_EQ(DataSize::bytes(2'000'000'000).gb(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) seen[r.next_below(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, SummaryBasics) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, SummaryEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double xs[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, GeometricMean) {
+  const double xs[] = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(9.0, 10.0), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("b").add(12345);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("plain");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ParsesEqualsFormAndSwitches) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta=4.5", "--flag", "pos"};
+  const CliParser cli(5, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 4.5);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const CliParser cli(1, argv);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.get_bool("missing", false));
+}
+
+}  // namespace
+}  // namespace rr
