@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cellbe"
+  "../bench/bench_ablation_cellbe.pdb"
+  "CMakeFiles/bench_ablation_cellbe.dir/bench_ablation_cellbe.cpp.o"
+  "CMakeFiles/bench_ablation_cellbe.dir/bench_ablation_cellbe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cellbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

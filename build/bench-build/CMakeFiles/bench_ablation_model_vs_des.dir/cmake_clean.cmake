@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_model_vs_des"
+  "../bench/bench_ablation_model_vs_des.pdb"
+  "CMakeFiles/bench_ablation_model_vs_des.dir/bench_ablation_model_vs_des.cpp.o"
+  "CMakeFiles/bench_ablation_model_vs_des.dir/bench_ablation_model_vs_des.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_vs_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

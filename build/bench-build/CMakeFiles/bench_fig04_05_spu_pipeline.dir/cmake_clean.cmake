@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_05_spu_pipeline"
+  "../bench/bench_fig04_05_spu_pipeline.pdb"
+  "CMakeFiles/bench_fig04_05_spu_pipeline.dir/bench_fig04_05_spu_pipeline.cpp.o"
+  "CMakeFiles/bench_fig04_05_spu_pipeline.dir/bench_fig04_05_spu_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_05_spu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

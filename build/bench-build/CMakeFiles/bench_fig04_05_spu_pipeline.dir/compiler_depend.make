@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig04_05_spu_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_dacs_vs_ib"
+  "../bench/bench_fig09_dacs_vs_ib.pdb"
+  "CMakeFiles/bench_fig09_dacs_vs_ib.dir/bench_fig09_dacs_vs_ib.cpp.o"
+  "CMakeFiles/bench_fig09_dacs_vs_ib.dir/bench_fig09_dacs_vs_ib.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_dacs_vs_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_sweep3d_single"
+  "../bench/bench_fig12_sweep3d_single.pdb"
+  "CMakeFiles/bench_fig12_sweep3d_single.dir/bench_fig12_sweep3d_single.cpp.o"
+  "CMakeFiles/bench_fig12_sweep3d_single.dir/bench_fig12_sweep3d_single.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sweep3d_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_14_sweep3d_scale"
+  "../bench/bench_fig13_14_sweep3d_scale.pdb"
+  "CMakeFiles/bench_fig13_14_sweep3d_scale.dir/bench_fig13_14_sweep3d_scale.cpp.o"
+  "CMakeFiles/bench_fig13_14_sweep3d_scale.dir/bench_fig13_14_sweep3d_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_sweep3d_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

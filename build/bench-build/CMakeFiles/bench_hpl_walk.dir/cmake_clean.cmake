@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hpl_walk"
+  "../bench/bench_hpl_walk.pdb"
+  "CMakeFiles/bench_hpl_walk.dir/bench_hpl_walk.cpp.o"
+  "CMakeFiles/bench_hpl_walk.dir/bench_hpl_walk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpl_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

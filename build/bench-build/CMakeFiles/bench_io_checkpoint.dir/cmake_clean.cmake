@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_io_checkpoint"
+  "../bench/bench_io_checkpoint.pdb"
+  "CMakeFiles/bench_io_checkpoint.dir/bench_io_checkpoint.cpp.o"
+  "CMakeFiles/bench_io_checkpoint.dir/bench_io_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

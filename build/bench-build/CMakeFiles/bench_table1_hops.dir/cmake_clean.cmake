@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_hops"
+  "../bench/bench_table1_hops.pdb"
+  "CMakeFiles/bench_table1_hops.dir/bench_table1_hops.cpp.o"
+  "CMakeFiles/bench_table1_hops.dir/bench_table1_hops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

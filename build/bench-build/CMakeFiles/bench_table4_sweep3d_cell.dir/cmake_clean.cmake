@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_sweep3d_cell"
+  "../bench/bench_table4_sweep3d_cell.pdb"
+  "CMakeFiles/bench_table4_sweep3d_cell.dir/bench_table4_sweep3d_cell.cpp.o"
+  "CMakeFiles/bench_table4_sweep3d_cell.dir/bench_table4_sweep3d_cell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sweep3d_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

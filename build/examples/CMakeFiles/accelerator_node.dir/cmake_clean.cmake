@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_node.dir/accelerator_node.cpp.o"
+  "CMakeFiles/accelerator_node.dir/accelerator_node.cpp.o.d"
+  "accelerator_node"
+  "accelerator_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_messaging.dir/cell_messaging.cpp.o"
+  "CMakeFiles/cell_messaging.dir/cell_messaging.cpp.o.d"
+  "cell_messaging"
+  "cell_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linpack_projection.dir/linpack_projection.cpp.o"
+  "CMakeFiles/linpack_projection.dir/linpack_projection.cpp.o.d"
+  "linpack_projection"
+  "linpack_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linpack_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep3d_demo.dir/sweep3d_demo.cpp.o"
+  "CMakeFiles/sweep3d_demo.dir/sweep3d_demo.cpp.o.d"
+  "sweep3d_demo"
+  "sweep3d_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep3d_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

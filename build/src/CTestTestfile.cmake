@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("arch")
+subdirs("topo")
+subdirs("spu")
+subdirs("mem")
+subdirs("comm")
+subdirs("cml")
+subdirs("sweep")
+subdirs("model")
+subdirs("core")
+subdirs("io")
+subdirs("dacs")
+subdirs("alf")

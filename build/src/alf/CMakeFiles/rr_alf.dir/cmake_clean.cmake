@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_alf.dir/alf.cpp.o"
+  "CMakeFiles/rr_alf.dir/alf.cpp.o.d"
+  "librr_alf.a"
+  "librr_alf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_alf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

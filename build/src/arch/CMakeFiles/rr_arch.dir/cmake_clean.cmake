@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_arch.dir/power.cpp.o"
+  "CMakeFiles/rr_arch.dir/power.cpp.o.d"
+  "CMakeFiles/rr_arch.dir/spec.cpp.o"
+  "CMakeFiles/rr_arch.dir/spec.cpp.o.d"
+  "librr_arch.a"
+  "librr_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_cml.dir/cml.cpp.o"
+  "CMakeFiles/rr_cml.dir/cml.cpp.o.d"
+  "librr_cml.a"
+  "librr_cml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_cml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

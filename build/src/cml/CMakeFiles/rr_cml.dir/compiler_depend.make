@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rr_cml.
+# This may be replaced when dependencies are built.

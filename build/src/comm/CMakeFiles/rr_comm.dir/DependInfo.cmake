@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/channel.cpp" "src/comm/CMakeFiles/rr_comm.dir/channel.cpp.o" "gcc" "src/comm/CMakeFiles/rr_comm.dir/channel.cpp.o.d"
+  "/root/repo/src/comm/collectives.cpp" "src/comm/CMakeFiles/rr_comm.dir/collectives.cpp.o" "gcc" "src/comm/CMakeFiles/rr_comm.dir/collectives.cpp.o.d"
+  "/root/repo/src/comm/fabric.cpp" "src/comm/CMakeFiles/rr_comm.dir/fabric.cpp.o" "gcc" "src/comm/CMakeFiles/rr_comm.dir/fabric.cpp.o.d"
+  "/root/repo/src/comm/network.cpp" "src/comm/CMakeFiles/rr_comm.dir/network.cpp.o" "gcc" "src/comm/CMakeFiles/rr_comm.dir/network.cpp.o.d"
+  "/root/repo/src/comm/path.cpp" "src/comm/CMakeFiles/rr_comm.dir/path.cpp.o" "gcc" "src/comm/CMakeFiles/rr_comm.dir/path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

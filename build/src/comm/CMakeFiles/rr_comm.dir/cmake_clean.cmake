@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_comm.dir/channel.cpp.o"
+  "CMakeFiles/rr_comm.dir/channel.cpp.o.d"
+  "CMakeFiles/rr_comm.dir/collectives.cpp.o"
+  "CMakeFiles/rr_comm.dir/collectives.cpp.o.d"
+  "CMakeFiles/rr_comm.dir/fabric.cpp.o"
+  "CMakeFiles/rr_comm.dir/fabric.cpp.o.d"
+  "CMakeFiles/rr_comm.dir/network.cpp.o"
+  "CMakeFiles/rr_comm.dir/network.cpp.o.d"
+  "CMakeFiles/rr_comm.dir/path.cpp.o"
+  "CMakeFiles/rr_comm.dir/path.cpp.o.d"
+  "librr_comm.a"
+  "librr_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

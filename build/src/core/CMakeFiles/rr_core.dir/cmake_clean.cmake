@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_core.dir/hybrid.cpp.o"
+  "CMakeFiles/rr_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/rr_core.dir/roadrunner.cpp.o"
+  "CMakeFiles/rr_core.dir/roadrunner.cpp.o.d"
+  "librr_core.a"
+  "librr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_dacs.dir/dacs.cpp.o"
+  "CMakeFiles/rr_dacs.dir/dacs.cpp.o.d"
+  "librr_dacs.a"
+  "librr_dacs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_dacs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_io.dir/io_model.cpp.o"
+  "CMakeFiles/rr_io.dir/io_model.cpp.o.d"
+  "librr_io.a"
+  "librr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

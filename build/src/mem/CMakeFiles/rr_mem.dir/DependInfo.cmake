@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/rr_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/rr_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/mem/CMakeFiles/rr_mem.dir/memory_system.cpp.o" "gcc" "src/mem/CMakeFiles/rr_mem.dir/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/spu/CMakeFiles/rr_spu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_mem.dir/cache.cpp.o"
+  "CMakeFiles/rr_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/rr_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/rr_mem.dir/memory_system.cpp.o.d"
+  "librr_mem.a"
+  "librr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/apps.cpp" "src/model/CMakeFiles/rr_model.dir/apps.cpp.o" "gcc" "src/model/CMakeFiles/rr_model.dir/apps.cpp.o.d"
+  "/root/repo/src/model/hpl_sim.cpp" "src/model/CMakeFiles/rr_model.dir/hpl_sim.cpp.o" "gcc" "src/model/CMakeFiles/rr_model.dir/hpl_sim.cpp.o.d"
+  "/root/repo/src/model/linpack.cpp" "src/model/CMakeFiles/rr_model.dir/linpack.cpp.o" "gcc" "src/model/CMakeFiles/rr_model.dir/linpack.cpp.o.d"
+  "/root/repo/src/model/sim_validation.cpp" "src/model/CMakeFiles/rr_model.dir/sim_validation.cpp.o" "gcc" "src/model/CMakeFiles/rr_model.dir/sim_validation.cpp.o.d"
+  "/root/repo/src/model/sweep_model.cpp" "src/model/CMakeFiles/rr_model.dir/sweep_model.cpp.o" "gcc" "src/model/CMakeFiles/rr_model.dir/sweep_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/spu/CMakeFiles/rr_spu.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/rr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/cml/CMakeFiles/rr_cml.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

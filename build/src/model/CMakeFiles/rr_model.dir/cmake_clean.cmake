@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_model.dir/apps.cpp.o"
+  "CMakeFiles/rr_model.dir/apps.cpp.o.d"
+  "CMakeFiles/rr_model.dir/hpl_sim.cpp.o"
+  "CMakeFiles/rr_model.dir/hpl_sim.cpp.o.d"
+  "CMakeFiles/rr_model.dir/linpack.cpp.o"
+  "CMakeFiles/rr_model.dir/linpack.cpp.o.d"
+  "CMakeFiles/rr_model.dir/sim_validation.cpp.o"
+  "CMakeFiles/rr_model.dir/sim_validation.cpp.o.d"
+  "CMakeFiles/rr_model.dir/sweep_model.cpp.o"
+  "CMakeFiles/rr_model.dir/sweep_model.cpp.o.d"
+  "librr_model.a"
+  "librr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

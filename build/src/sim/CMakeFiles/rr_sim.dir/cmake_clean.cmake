@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rr_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rr_sim.dir/trace.cpp.o"
+  "CMakeFiles/rr_sim.dir/trace.cpp.o.d"
+  "librr_sim.a"
+  "librr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

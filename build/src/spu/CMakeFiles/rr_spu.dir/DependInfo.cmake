@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spu/dma.cpp" "src/spu/CMakeFiles/rr_spu.dir/dma.cpp.o" "gcc" "src/spu/CMakeFiles/rr_spu.dir/dma.cpp.o.d"
+  "/root/repo/src/spu/interpreter.cpp" "src/spu/CMakeFiles/rr_spu.dir/interpreter.cpp.o" "gcc" "src/spu/CMakeFiles/rr_spu.dir/interpreter.cpp.o.d"
+  "/root/repo/src/spu/kernels.cpp" "src/spu/CMakeFiles/rr_spu.dir/kernels.cpp.o" "gcc" "src/spu/CMakeFiles/rr_spu.dir/kernels.cpp.o.d"
+  "/root/repo/src/spu/microbench.cpp" "src/spu/CMakeFiles/rr_spu.dir/microbench.cpp.o" "gcc" "src/spu/CMakeFiles/rr_spu.dir/microbench.cpp.o.d"
+  "/root/repo/src/spu/pipeline.cpp" "src/spu/CMakeFiles/rr_spu.dir/pipeline.cpp.o" "gcc" "src/spu/CMakeFiles/rr_spu.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rr_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

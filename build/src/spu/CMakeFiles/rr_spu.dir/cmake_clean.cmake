@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_spu.dir/dma.cpp.o"
+  "CMakeFiles/rr_spu.dir/dma.cpp.o.d"
+  "CMakeFiles/rr_spu.dir/interpreter.cpp.o"
+  "CMakeFiles/rr_spu.dir/interpreter.cpp.o.d"
+  "CMakeFiles/rr_spu.dir/kernels.cpp.o"
+  "CMakeFiles/rr_spu.dir/kernels.cpp.o.d"
+  "CMakeFiles/rr_spu.dir/microbench.cpp.o"
+  "CMakeFiles/rr_spu.dir/microbench.cpp.o.d"
+  "CMakeFiles/rr_spu.dir/pipeline.cpp.o"
+  "CMakeFiles/rr_spu.dir/pipeline.cpp.o.d"
+  "librr_spu.a"
+  "librr_spu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_spu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sweep/cml_sweep.cpp" "src/sweep/CMakeFiles/rr_sweep.dir/cml_sweep.cpp.o" "gcc" "src/sweep/CMakeFiles/rr_sweep.dir/cml_sweep.cpp.o.d"
+  "/root/repo/src/sweep/kba.cpp" "src/sweep/CMakeFiles/rr_sweep.dir/kba.cpp.o" "gcc" "src/sweep/CMakeFiles/rr_sweep.dir/kba.cpp.o.d"
+  "/root/repo/src/sweep/quadrature.cpp" "src/sweep/CMakeFiles/rr_sweep.dir/quadrature.cpp.o" "gcc" "src/sweep/CMakeFiles/rr_sweep.dir/quadrature.cpp.o.d"
+  "/root/repo/src/sweep/schedule.cpp" "src/sweep/CMakeFiles/rr_sweep.dir/schedule.cpp.o" "gcc" "src/sweep/CMakeFiles/rr_sweep.dir/schedule.cpp.o.d"
+  "/root/repo/src/sweep/solver.cpp" "src/sweep/CMakeFiles/rr_sweep.dir/solver.cpp.o" "gcc" "src/sweep/CMakeFiles/rr_sweep.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cml/CMakeFiles/rr_cml.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rr_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

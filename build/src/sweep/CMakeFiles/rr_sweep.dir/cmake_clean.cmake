@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_sweep.dir/cml_sweep.cpp.o"
+  "CMakeFiles/rr_sweep.dir/cml_sweep.cpp.o.d"
+  "CMakeFiles/rr_sweep.dir/kba.cpp.o"
+  "CMakeFiles/rr_sweep.dir/kba.cpp.o.d"
+  "CMakeFiles/rr_sweep.dir/quadrature.cpp.o"
+  "CMakeFiles/rr_sweep.dir/quadrature.cpp.o.d"
+  "CMakeFiles/rr_sweep.dir/schedule.cpp.o"
+  "CMakeFiles/rr_sweep.dir/schedule.cpp.o.d"
+  "CMakeFiles/rr_sweep.dir/solver.cpp.o"
+  "CMakeFiles/rr_sweep.dir/solver.cpp.o.d"
+  "librr_sweep.a"
+  "librr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

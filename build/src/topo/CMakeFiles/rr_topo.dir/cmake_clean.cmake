@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_topo.dir/topology.cpp.o"
+  "CMakeFiles/rr_topo.dir/topology.cpp.o.d"
+  "librr_topo.a"
+  "librr_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_util.dir/cli.cpp.o"
+  "CMakeFiles/rr_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rr_util.dir/log.cpp.o"
+  "CMakeFiles/rr_util.dir/log.cpp.o.d"
+  "CMakeFiles/rr_util.dir/stats.cpp.o"
+  "CMakeFiles/rr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rr_util.dir/table.cpp.o"
+  "CMakeFiles/rr_util.dir/table.cpp.o.d"
+  "librr_util.a"
+  "librr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacs_test.dir/dacs_test.cpp.o"
+  "CMakeFiles/dacs_test.dir/dacs_test.cpp.o.d"
+  "dacs_test"
+  "dacs_test.pdb"
+  "dacs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_collectives_test.dir/io_collectives_test.cpp.o"
+  "CMakeFiles/io_collectives_test.dir/io_collectives_test.cpp.o.d"
+  "io_collectives_test"
+  "io_collectives_test.pdb"
+  "io_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

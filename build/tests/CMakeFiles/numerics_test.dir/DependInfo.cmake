@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numerics_test.cpp" "tests/CMakeFiles/numerics_test.dir/numerics_test.cpp.o" "gcc" "tests/CMakeFiles/numerics_test.dir/numerics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sweep/CMakeFiles/rr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/dacs/CMakeFiles/rr_dacs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cml/CMakeFiles/rr_cml.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spu_test.dir/spu_test.cpp.o"
+  "CMakeFiles/spu_test.dir/spu_test.cpp.o.d"
+  "spu_test"
+  "spu_test.pdb"
+  "spu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
