@@ -35,11 +35,12 @@ int main() {
   print_banner(std::cout, "Checkpoint cost vs application state size");
   Table c({"state per node", "checkpoint time", "overhead at 4h interval (%)"});
   for (const double gib : {1.0, 4.0, 8.0, 16.0, 32.0}) {
-    const Duration ck = io.collective_write(DataSize::gib(gib));
+    const DataSize state = DataSize::gib(gib);
+    const Duration ck = io.checkpoint_cost(state);
     c.row()
         .add(format_double(gib, 0) + " GiB")
         .add(format_double(ck.sec() / 60.0, 1) + " min")
-        .add(100.0 * ck.sec() / (4 * 3600.0), 2);
+        .add(100.0 * io.checkpoint_overhead(state, Duration::seconds(4 * 3600.0)), 2);
   }
   c.print(std::cout);
 

@@ -1,0 +1,86 @@
+#include "comm/reliable.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace rr::comm {
+
+void LinkState::set_up(TimePoint at, bool up) {
+  RR_EXPECTS(log_.empty() || at >= log_.back().at);
+  const bool current = log_.empty() ? true : log_.back().up;
+  if (current == up) return;
+  log_.push_back(Transition{at, up});
+}
+
+bool LinkState::up_at(TimePoint t) const {
+  bool up = true;
+  for (const Transition& tr : log_) {
+    if (tr.at > t) break;
+    up = tr.up;
+  }
+  return up;
+}
+
+bool LinkState::down_during(TimePoint a, TimePoint b) const {
+  RR_EXPECTS(a <= b);
+  if (!up_at(a)) return true;
+  for (const Transition& tr : log_)
+    if (!tr.up && tr.at >= a && tr.at <= b) return true;
+  return false;
+}
+
+ReliableChannel::ReliableChannel(ChannelModel model, RetryPolicy policy)
+    : model_(std::move(model)), policy_(policy) {
+  RR_EXPECTS(policy_.max_attempts >= 1);
+  RR_EXPECTS(policy_.backoff_multiplier >= 1.0);
+  RR_EXPECTS(policy_.initial_backoff >= Duration::zero());
+}
+
+Duration ReliableChannel::backoff_after(int losses) const {
+  RR_EXPECTS(losses >= 1);
+  Duration b = policy_.initial_backoff;
+  for (int i = 1; i < losses; ++i) {
+    b = b * policy_.backoff_multiplier;
+    if (b >= policy_.max_backoff) return policy_.max_backoff;
+  }
+  return std::min(b, policy_.max_backoff);
+}
+
+void ReliableChannel::send(sim::Simulator& sim, const LinkState& link,
+                           DataSize n,
+                           std::function<void(const DeliveryReport&)> done) const {
+  attempt(sim, link, n, 1, Duration::zero(), std::move(done));
+}
+
+void ReliableChannel::attempt(
+    sim::Simulator& sim, const LinkState& link, DataSize n, int tries,
+    Duration backed_off,
+    std::function<void(const DeliveryReport&)> done) const {
+  const TimePoint sent = sim.now();
+  const Duration flight = model_.one_way(n);
+  // Decide the attempt's fate when the message would arrive; outages
+  // injected before that moment are visible by then.
+  sim.schedule(flight, [this, &sim, &link, n, tries, backed_off, sent,
+                        done = std::move(done)]() mutable {
+    if (!link.down_during(sent, sim.now())) {
+      done(DeliveryReport{true, tries, sim.now(), backed_off});
+      return;
+    }
+    // Lost: the sender notices ack_timeout after the expected arrival.
+    sim.schedule(policy_.ack_timeout, [this, &sim, &link, n, tries, backed_off,
+                                       done = std::move(done)]() mutable {
+      if (tries >= policy_.max_attempts) {
+        done(DeliveryReport{false, tries, sim.now(), backed_off});
+        return;
+      }
+      const Duration wait = backoff_after(tries);
+      sim.schedule(wait, [this, &sim, &link, n, tries, backed_off, wait,
+                          done = std::move(done)]() mutable {
+        attempt(sim, link, n, tries + 1, backed_off + wait, std::move(done));
+      });
+    });
+  });
+}
+
+}  // namespace rr::comm

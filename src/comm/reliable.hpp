@@ -1,0 +1,86 @@
+// Link-down detection and retry for point-to-point channels (the
+// `src/comm` half of the fault subsystem in src/fault).
+//
+// A LinkState records up/down transitions on the DES clock -- a fault
+// injector marks the link down when a cable or crossbar on the route
+// fails and up again when the path is rerouted or repaired.  A
+// ReliableChannel layers a timeout/backoff retry loop over a calibrated
+// ChannelModel: an attempt whose flight overlaps an outage is lost, the
+// sender notices ack_timeout after the expected arrival, backs off
+// exponentially, and tries again up to max_attempts.  Everything runs on
+// the integer-picosecond Simulator, so a given outage script yields a
+// bit-identical delivery timeline.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace rr::comm {
+
+/// Retry discipline for a channel that can lose its link.
+struct RetryPolicy {
+  /// Time after the expected arrival before the sender declares the
+  /// attempt lost (no ack).
+  Duration ack_timeout = Duration::microseconds(500);
+  Duration initial_backoff = Duration::microseconds(100);
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = Duration::milliseconds(50);
+  int max_attempts = 12;
+};
+
+/// Up/down state of one link over simulated time.  Transitions must be
+/// recorded in chronological order (schedule them as DES events).
+class LinkState {
+ public:
+  /// Record a transition at `at`.  Redundant transitions are ignored.
+  void set_up(TimePoint at, bool up);
+
+  bool up_at(TimePoint t) const;
+  /// True when any part of [a, b] overlaps an outage.
+  bool down_during(TimePoint a, TimePoint b) const;
+
+ private:
+  struct Transition {
+    TimePoint at;
+    bool up;
+  };
+  std::vector<Transition> log_;  // chronological; link starts up
+};
+
+struct DeliveryReport {
+  bool delivered = false;
+  int attempts = 0;
+  TimePoint completed_at{};                   ///< arrival or give-up time
+  Duration backoff_total = Duration::zero();  ///< time spent backed off
+};
+
+class ReliableChannel {
+ public:
+  explicit ReliableChannel(ChannelModel model, RetryPolicy policy = {});
+
+  const ChannelModel& model() const { return model_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Start sending `n` bytes now; `done` fires on the simulator with the
+  /// final report -- either the delivery or the give-up after
+  /// max_attempts.  The link is probed at each attempt's flight window,
+  /// so outages scheduled later on `link` are honored.
+  void send(sim::Simulator& sim, const LinkState& link, DataSize n,
+            std::function<void(const DeliveryReport&)> done) const;
+
+  /// Backoff before retry k (k = 1 after the first loss).
+  Duration backoff_after(int losses) const;
+
+ private:
+  void attempt(sim::Simulator& sim, const LinkState& link, DataSize n,
+               int tries, Duration backed_off,
+               std::function<void(const DeliveryReport&)> done) const;
+
+  ChannelModel model_;
+  RetryPolicy policy_;
+};
+
+}  // namespace rr::comm

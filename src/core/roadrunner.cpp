@@ -31,4 +31,15 @@ arch::PowerReport RoadrunnerSystem::power() const {
   return arch::estimate_power(spec_, linpack().sustained);
 }
 
+double RoadrunnerSystem::system_mtbf_h(
+    const fault::ReliabilityParams& rel) const {
+  return fault::system_mtbf_h(fault::census(*topo_), rel);
+}
+
+fault::ResiliencePoint RoadrunnerSystem::hpl_resilience(
+    const fault::StudyConfig& cfg) const {
+  return fault::study_point(spec_, *topo_, node_count(),
+                            fault::hpl_fault_free_s(spec_, node_count()), cfg);
+}
+
 }  // namespace rr::core

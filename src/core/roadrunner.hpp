@@ -17,6 +17,7 @@
 #include "arch/power.hpp"
 #include "arch/spec.hpp"
 #include "comm/fabric.hpp"
+#include "fault/resilience_study.hpp"
 #include "model/linpack.hpp"
 #include "topo/topology.hpp"
 
@@ -51,6 +52,14 @@ class RoadrunnerSystem {
   FlopRate peak_dp() const { return spec_.system_peak(arch::Precision::kDouble); }
   model::LinpackProjection linpack() const;
   arch::PowerReport power() const;
+
+  /// Fleet MTBF under the default (or given) per-component failure budget
+  /// (extension; src/fault).
+  double system_mtbf_h(const fault::ReliabilityParams& rel = {}) const;
+
+  /// Expected completion of the full-machine LINPACK run under
+  /// MTBF-driven failures with Young/Daly checkpointing (extension).
+  fault::ResiliencePoint hpl_resilience(const fault::StudyConfig& cfg = {}) const;
 
  private:
   RoadrunnerSystem(arch::SystemSpec spec, topo::Topology topo);

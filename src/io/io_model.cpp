@@ -55,6 +55,16 @@ Duration IoSubsystem::full_checkpoint() const {
   return collective_write(node.opteron_memory() + node.cell_memory());
 }
 
+Duration IoSubsystem::checkpoint_cost(DataSize per_node) const {
+  return metadata_storm(system_.node_count()) + collective_write(per_node);
+}
+
+double IoSubsystem::checkpoint_overhead(DataSize per_node,
+                                        Duration interval) const {
+  RR_EXPECTS(interval > Duration::zero());
+  return checkpoint_cost(per_node) / interval;
+}
+
 Duration IoSubsystem::metadata_storm(int ranks) const {
   RR_EXPECTS(ranks >= 1);
   // Directors on the I/O nodes serve creates in parallel, one stream per

@@ -40,6 +40,16 @@ class IoSubsystem {
   Duration full_checkpoint() const;
   DataSize checkpoint_bytes() const;
 
+  /// The C of a Young/Daly defensive checkpoint: collective write of
+  /// `per_node` bytes of application state plus the file-per-node
+  /// metadata round.  Shared by bench_io_checkpoint and the fault
+  /// subsystem (src/fault) so both price checkpoints identically.
+  Duration checkpoint_cost(DataSize per_node) const;
+
+  /// Fraction of wall-clock a fault-free run spends writing `per_node`
+  /// bytes of state every `interval`.
+  double checkpoint_overhead(DataSize per_node, Duration interval) const;
+
   /// One-file-per-rank metadata storm cost for `ranks` files, spread
   /// across the I/O nodes' directors.
   Duration metadata_storm(int ranks) const;

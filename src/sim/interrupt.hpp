@@ -1,0 +1,119 @@
+// Process interruption on the DES: a restartable computation that
+// executes its work in checkpointed segments and survives fault events by
+// rolling back to the last committed checkpoint.
+//
+// This is the `src/sim` half of the fault subsystem (src/fault): the
+// fault injector decides *when* to call interrupt(); this class models
+// what the interruption costs.  The segment discipline matches the
+// Young/Daly analytic model (fault/checkpoint_policy.hpp): useful work is
+// cut into `interval`-sized segments, each followed by a checkpoint
+// write, and a failure anywhere inside a segment (compute or checkpoint)
+// discards the whole segment.  A checkpoint is also written after the
+// final segment -- the job's output dump -- which is exactly what the
+// analytic W/tau segment count assumes, so the DES mean converges to the
+// closed form.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace rr::sim {
+
+/// Parameters of a restartable, checkpointed run.
+struct RestartPlan {
+  Duration work;        ///< total useful compute time
+  Duration interval;    ///< useful work per checkpoint segment (tau)
+  Duration checkpoint;  ///< cost of one checkpoint write (C)
+  Duration restart;     ///< reboot + requeue + reload cost after a fault (R)
+};
+
+struct RestartStats {
+  Duration makespan;                         ///< start() to completion
+  Duration lost_work = Duration::zero();     ///< discarded segment fractions
+  Duration checkpoint_time = Duration::zero();
+  Duration restart_time = Duration::zero();
+  int failures = 0;     ///< interruptions delivered before completion
+  int checkpoints = 0;  ///< committed checkpoint writes
+  bool completed = false;
+};
+
+class InterruptibleProcess {
+ public:
+  InterruptibleProcess(Simulator& sim, RestartPlan plan) : sim_(sim), plan_(plan) {
+    RR_EXPECTS(plan.work > Duration::zero());
+    RR_EXPECTS(plan.interval > Duration::zero());
+    RR_EXPECTS(plan.checkpoint >= Duration::zero());
+    RR_EXPECTS(plan.restart >= Duration::zero());
+  }
+  InterruptibleProcess(const InterruptibleProcess&) = delete;
+  InterruptibleProcess& operator=(const InterruptibleProcess&) = delete;
+
+  /// Begin the first segment at the current simulated time.
+  void start() {
+    RR_EXPECTS(state_ == State::kIdle);
+    started_ = sim_.now();
+    begin_segment();
+  }
+
+  /// A fault reached this process: discard everything since the last
+  /// committed checkpoint and go through restart.  Ignored once done.
+  void interrupt() {
+    if (state_ == State::kDone || state_ == State::kIdle) return;
+    sim_.cancel(pending_);
+    ++stats_.failures;
+    if (state_ == State::kSegment)
+      stats_.lost_work += sim_.now() - phase_started_;
+    else
+      stats_.restart_time += sim_.now() - phase_started_;  // partial reboot
+    // A fault during restart restarts the restart (the full reboot cost
+    // is paid again from now).
+    state_ = State::kRestarting;
+    phase_started_ = sim_.now();
+    pending_ = sim_.schedule(plan_.restart, [this] {
+      stats_.restart_time += sim_.now() - phase_started_;
+      begin_segment();
+    });
+  }
+
+  bool done() const { return state_ == State::kDone; }
+  /// Useful work committed so far (whole segments).
+  Duration committed() const { return committed_; }
+  const RestartStats& stats() const { return stats_; }
+
+ private:
+  enum class State { kIdle, kSegment, kRestarting, kDone };
+
+  void begin_segment() {
+    const Duration remaining = plan_.work - committed_;
+    RR_ASSERT(remaining > Duration::zero());
+    const Duration seg = remaining < plan_.interval ? remaining : plan_.interval;
+    state_ = State::kSegment;
+    phase_started_ = sim_.now();
+    pending_ = sim_.schedule(seg + plan_.checkpoint, [this, seg] {
+      committed_ += seg;
+      ++stats_.checkpoints;
+      stats_.checkpoint_time += plan_.checkpoint;
+      if (committed_ >= plan_.work) {
+        state_ = State::kDone;
+        stats_.completed = true;
+        stats_.makespan = sim_.now() - started_;
+      } else {
+        begin_segment();
+      }
+    });
+  }
+
+  Simulator& sim_;
+  RestartPlan plan_;
+  RestartStats stats_;
+  State state_ = State::kIdle;
+  Duration committed_ = Duration::zero();
+  TimePoint started_{};
+  TimePoint phase_started_{};
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace rr::sim

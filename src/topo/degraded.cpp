@@ -1,0 +1,236 @@
+#include "topo/degraded.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace rr::topo {
+
+namespace {
+std::pair<int, int> ordered(int a, int b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+}  // namespace
+
+DegradedTopology::DegradedTopology(const Topology& base)
+    : base_(&base),
+      xbar_failed_(static_cast<std::size_t>(base.crossbar_count()), 0),
+      node_failed_(static_cast<std::size_t>(base.node_count()), 0) {}
+
+void DegradedTopology::fail_crossbar(int id) {
+  RR_EXPECTS(id >= 0 && id < base_->crossbar_count());
+  if (!xbar_failed_[id]) {
+    xbar_failed_[id] = 1;
+    ++failed_xbars_;
+  }
+}
+
+void DegradedTopology::fail_link(int a, int b) {
+  RR_EXPECTS(base_->adjacent(a, b));
+  const auto key = ordered(a, b);
+  const auto it = std::lower_bound(cut_links_.begin(), cut_links_.end(), key);
+  if (it == cut_links_.end() || *it != key) cut_links_.insert(it, key);
+}
+
+void DegradedTopology::fail_node(NodeId n) {
+  RR_EXPECTS(n.v >= 0 && n.v < base_->node_count());
+  node_failed_[n.v] = 1;
+}
+
+void DegradedTopology::fail_inter_cu_switch(int sw) {
+  const int level = base_->params().upper_xbars_per_cu;
+  for (int i = 0; i < level; ++i) {
+    fail_crossbar(base_->l1_id(sw, i));
+    fail_crossbar(base_->mid_id(sw, i));
+    fail_crossbar(base_->l3_id(sw, i));
+  }
+}
+
+void DegradedTopology::reset() {
+  std::fill(xbar_failed_.begin(), xbar_failed_.end(), 0);
+  std::fill(node_failed_.begin(), node_failed_.end(), 0);
+  cut_links_.clear();
+  failed_xbars_ = 0;
+}
+
+bool DegradedTopology::link_failed(int a, int b) const {
+  return std::binary_search(cut_links_.begin(), cut_links_.end(), ordered(a, b));
+}
+
+bool DegradedTopology::node_alive(NodeId n) const {
+  RR_EXPECTS(n.v >= 0 && n.v < base_->node_count());
+  if (node_failed_[n.v]) return false;
+  const Attachment& att = base_->attachment(n);
+  return !crossbar_failed(base_->cu_lower_id(att.cu, att.lower_xbar));
+}
+
+int DegradedTopology::alive_node_count() const {
+  int alive = 0;
+  for (int n = 0; n < base_->node_count(); ++n)
+    if (node_alive(NodeId{n})) ++alive;
+  return alive;
+}
+
+bool DegradedTopology::link_usable(int a, int b) const {
+  return base_->adjacent(a, b) && !crossbar_failed(a) && !crossbar_failed(b) &&
+         !link_failed(a, b);
+}
+
+/// First surviving upper crossbar of `cu` cabled to both lower crossbars,
+/// scanning from the destination-indexed preference in a fixed order.
+std::optional<int> DegradedTopology::pick_upper(int cu, int from_lower,
+                                                int to_lower) const {
+  const int uppers = base_->params().upper_xbars_per_cu;
+  const int lo_from = base_->cu_lower_id(cu, from_lower);
+  const int lo_to = base_->cu_lower_id(cu, to_lower);
+  const int preferred = to_lower % uppers;
+  for (int k = 0; k < uppers; ++k) {
+    const int up = base_->cu_upper_id(cu, (preferred + k) % uppers);
+    if (link_usable(lo_from, up) && link_usable(up, lo_to)) return up;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<int>> DegradedTopology::route(NodeId src,
+                                                        NodeId dst) const {
+  if (!node_alive(src) || !node_alive(dst)) return std::nullopt;
+  std::vector<int> path;
+  if (src == dst) return path;
+
+  const TopologyParams& p = base_->params();
+  const Attachment& a = base_->attachment(src);
+  const Attachment& b = base_->attachment(dst);
+  const int src_lower = base_->cu_lower_id(a.cu, a.lower_xbar);
+  const int dst_lower = base_->cu_lower_id(b.cu, b.lower_xbar);
+
+  if (a.cu == b.cu) {
+    path.push_back(src_lower);
+    if (a.lower_xbar == b.lower_xbar) return path;
+    const auto up = pick_upper(a.cu, a.lower_xbar, b.lower_xbar);
+    if (!up) return std::nullopt;
+    path.push_back(*up);
+    path.push_back(dst_lower);
+    return path;
+  }
+
+  // Cross-CU.  Preferred entry crossbar index is the destination's lower
+  // crossbar (healthy destination-indexed routing); if no switch path
+  // survives through it, fall back to another entry index and descend
+  // through the destination CU's fat tree (at most +2 hops).
+  const int stride = p.inter_cu_switches / p.uplinks_per_lower_xbar;
+  const bool src_first = a.cu < p.first_level_cus;
+  const bool dst_first = b.cu < p.first_level_cus;
+
+  for (int jk = 0; jk < p.lower_xbars_per_cu; ++jk) {
+    const int j = (b.lower_xbar + jk) % p.lower_xbars_per_cu;
+    const int climb_from = base_->cu_lower_id(a.cu, j);
+    const int land_at = base_->cu_lower_id(b.cu, j);
+    if (crossbar_failed(climb_from) || crossbar_failed(land_at)) continue;
+
+    // Climb inside the source CU to the entry crossbar.
+    std::vector<int> prefix;
+    prefix.push_back(src_lower);
+    if (a.lower_xbar != j) {
+      const auto up = pick_upper(a.cu, a.lower_xbar, j);
+      if (!up) continue;
+      prefix.push_back(*up);
+      prefix.push_back(climb_from);
+    }
+
+    // Cross through one of the entry crossbar's uplink switches.
+    const int entry = j / stride;
+    std::vector<int> across;
+    bool crossed = false;
+    for (int tk = 0; tk < p.uplinks_per_lower_xbar && !crossed; ++tk) {
+      const int t =
+          (b.cu % p.uplinks_per_lower_xbar + tk) % p.uplinks_per_lower_xbar;
+      const int sw = j % stride + stride * t;
+      across.clear();
+      if (src_first && dst_first) {
+        across = {base_->l1_id(sw, entry)};
+      } else if (src_first && !dst_first) {
+        across = {base_->l1_id(sw, entry), base_->mid_id(sw, entry),
+                  base_->l3_id(sw, entry)};
+      } else if (!src_first && dst_first) {
+        across = {base_->l3_id(sw, entry), base_->mid_id(sw, entry),
+                  base_->l1_id(sw, entry)};
+      } else {
+        across = {base_->l3_id(sw, entry)};
+      }
+      crossed = link_usable(climb_from, across.front()) &&
+                link_usable(across.back(), land_at);
+      for (std::size_t i = 0; crossed && i + 1 < across.size(); ++i)
+        crossed = link_usable(across[i], across[i + 1]);
+    }
+    if (!crossed) continue;
+
+    // Descend inside the destination CU when we entered off-index.
+    std::vector<int> suffix;
+    suffix.push_back(land_at);
+    if (j != b.lower_xbar) {
+      const auto up = pick_upper(b.cu, j, b.lower_xbar);
+      if (!up) continue;
+      suffix.push_back(*up);
+      suffix.push_back(dst_lower);
+    }
+
+    path = std::move(prefix);
+    path.insert(path.end(), across.begin(), across.end());
+    path.insert(path.end(), suffix.begin(), suffix.end());
+    return path;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> DegradedTopology::hop_count(NodeId src, NodeId dst) const {
+  const auto r = route(src, dst);
+  if (!r) return std::nullopt;
+  return static_cast<int>(r->size());
+}
+
+std::vector<int> DegradedTopology::bfs_crossbar_distance(int xbar_id) const {
+  if (cut_links_.empty())
+    return base_->bfs_crossbar_distance(xbar_id, xbar_failed_, {});
+  return base_->bfs_crossbar_distance(
+      xbar_id, xbar_failed_,
+      [this](int a, int b) { return !link_failed(a, b); });
+}
+
+RouteAudit audit_routes(const DegradedTopology& d, int src_stride,
+                        int dst_stride) {
+  RR_EXPECTS(src_stride >= 1 && dst_stride >= 1);
+  const Topology& t = d.base();
+  RouteAudit audit;
+  for (int s = 0; s < t.node_count(); s += src_stride) {
+    const NodeId src{s};
+    if (!d.node_alive(src)) continue;
+    const Attachment& att = t.attachment(src);
+    const std::vector<int> floor =
+        d.bfs_crossbar_distance(t.cu_lower_id(att.cu, att.lower_xbar));
+    for (int e = 0; e < t.node_count(); e += dst_stride) {
+      const NodeId dst{e};
+      if (src == dst || !d.node_alive(dst)) continue;
+      ++audit.pairs_checked;
+      const auto path = d.route(src, dst);
+      if (!path) {
+        ++audit.unreachable;
+        continue;
+      }
+      bool ok = !path->empty() && !d.crossbar_failed(path->front());
+      for (std::size_t i = 0; ok && i + 1 < path->size(); ++i)
+        ok = d.link_usable((*path)[i], (*path)[i + 1]);
+      const Attachment& datt = t.attachment(dst);
+      ok = ok && path->back() == t.cu_lower_id(datt.cu, datt.lower_xbar);
+      if (!ok) ++audit.broken;
+      const std::set<int> unique(path->begin(), path->end());
+      if (unique.size() != path->size()) ++audit.loops;
+      const int bfs = floor[path->back()];
+      if (bfs < 0 || static_cast<int>(path->size()) < bfs)
+        ++audit.below_bfs_floor;
+      const int extra = static_cast<int>(path->size()) - t.hop_count(src, dst);
+      audit.max_extra_hops = std::max(audit.max_extra_hops, extra);
+    }
+  }
+  return audit;
+}
+
+}  // namespace rr::topo

@@ -1,0 +1,98 @@
+// Degraded operation of the Roadrunner fabric: an overlay on an immutable
+// Topology that marks crossbars, cables, and nodes as failed and reroutes
+// around them with the same destination-indexed up*/down* discipline the
+// healthy fabric uses (see topology.hpp).
+//
+// The rerouting preserves the deterministic-routing structure instead of
+// falling back to shortest paths: at each decision point of the healthy
+// route (intra-CU upper crossbar, inter-CU switch choice, inter-CU entry
+// crossbar) the router scans the alternatives in a fixed order and takes
+// the first one that is fully alive.  Routes stay loop-free by
+// construction -- the path is a strict up-across-down (plus at most one
+// extra up-down inside the destination CU when the preferred entry
+// crossbar is gone), and never revisits a crossbar.
+//
+// This is the `src/topo` half of the fault subsystem (src/fault); the
+// MTBF machinery that decides *what* fails lives over there.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace rr::topo {
+
+class DegradedTopology {
+ public:
+  explicit DegradedTopology(const Topology& base);
+
+  const Topology& base() const { return *base_; }
+
+  // ---- fault injection ----------------------------------------------------
+  void fail_crossbar(int id);
+  /// One cable between adjacent crossbars (order-insensitive).
+  void fail_link(int a, int b);
+  void fail_node(NodeId n);
+  /// A whole inter-CU ISR 9288: all of its L1/mid/L3 crossbars at once
+  /// (shared chassis, power, and management plane).
+  void fail_inter_cu_switch(int sw);
+  /// Back to the pristine fabric.
+  void reset();
+
+  // ---- state queries ------------------------------------------------------
+  bool crossbar_failed(int id) const { return xbar_failed_[id] != 0; }
+  bool link_failed(int a, int b) const;
+  /// A node is alive iff neither it nor its lower crossbar has failed.
+  bool node_alive(NodeId n) const;
+  int failed_crossbar_count() const { return failed_xbars_; }
+  int alive_node_count() const;
+  /// True when the cable a-b exists, both ends are alive, and the cable
+  /// itself has not been cut.
+  bool link_usable(int a, int b) const;
+
+  // ---- degraded routing ----------------------------------------------------
+  /// The degraded route from src to dst, or nullopt when no up/down route
+  /// survives.  Empty path for src == dst.  Both endpoints must be alive.
+  std::optional<std::vector<int>> route(NodeId src, NodeId dst) const;
+
+  /// Hops on the degraded route (nullopt when unreachable).
+  std::optional<int> hop_count(NodeId src, NodeId dst) const;
+
+  /// BFS crossbar distance on the *surviving* fabric (same convention as
+  /// Topology::bfs_crossbar_distance: the start crossbar counts as one).
+  /// Failed crossbars keep distance -1.
+  std::vector<int> bfs_crossbar_distance(int xbar_id) const;
+
+ private:
+  std::optional<int> pick_upper(int cu, int from_lower, int to_lower) const;
+
+  const Topology* base_;
+  std::vector<char> xbar_failed_;
+  std::vector<char> node_failed_;
+  std::vector<std::pair<int, int>> cut_links_;  // sorted pairs (a < b)
+  int failed_xbars_ = 0;
+};
+
+/// Sweep of surviving node pairs (src sampled every `src_stride`, dst
+/// every `dst_stride`) validating the degraded router:
+///   * every route edge is an existing, uncut cable between live crossbars
+///   * no crossbar repeats on a path (loop-free)
+///   * the path ends at the destination's lower crossbar
+///   * no path beats the BFS floor of the surviving fabric
+struct RouteAudit {
+  int pairs_checked = 0;
+  int unreachable = 0;
+  int broken = 0;          ///< dead component or missing cable on a path
+  int loops = 0;
+  int below_bfs_floor = 0; ///< route shorter than physically possible
+  int max_extra_hops = 0;  ///< max(degraded hops - healthy hops)
+
+  bool clean() const { return broken == 0 && loops == 0 && below_bfs_floor == 0; }
+};
+
+RouteAudit audit_routes(const DegradedTopology& d, int src_stride = 331,
+                        int dst_stride = 97);
+
+}  // namespace rr::topo

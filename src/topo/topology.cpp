@@ -253,8 +253,18 @@ bool Topology::adjacent(int a, int b) const {
 }
 
 std::vector<int> Topology::bfs_crossbar_distance(int xbar_id) const {
+  static const std::vector<char> no_failures;
+  return bfs_crossbar_distance(xbar_id, no_failures, {});
+}
+
+std::vector<int> Topology::bfs_crossbar_distance(
+    int xbar_id, const std::vector<char>& failed,
+    const std::function<bool(int, int)>& link_ok) const {
   RR_EXPECTS(xbar_id >= 0 && xbar_id < crossbar_count());
+  RR_EXPECTS(failed.empty() || failed.size() == xbars_.size());
+  const auto down = [&](int id) { return !failed.empty() && failed[id]; };
   std::vector<int> dist(xbars_.size(), -1);
+  if (down(xbar_id)) return dist;
   std::queue<int> q;
   dist[xbar_id] = 1;  // the starting crossbar itself counts as one hop
   q.push(xbar_id);
@@ -262,7 +272,7 @@ std::vector<int> Topology::bfs_crossbar_distance(int xbar_id) const {
     const int x = q.front();
     q.pop();
     for (int nb : xbars_[x].links) {
-      if (dist[nb] == -1) {
+      if (dist[nb] == -1 && !down(nb) && (!link_ok || link_ok(x, nb))) {
         dist[nb] = dist[x] + 1;
         q.push(nb);
       }

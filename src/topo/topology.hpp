@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/expect.hpp"
@@ -121,6 +122,14 @@ class Topology {
   /// crossbar, counting crossbars visited; used by tests to show that the
   /// deterministic route is never shorter than physics allows.
   std::vector<int> bfs_crossbar_distance(int xbar_id) const;
+
+  /// Same floor on a degraded fabric (topo/degraded.hpp): crossbars whose
+  /// `failed` entry is nonzero are not traversed, and a cable a-b is only
+  /// taken when `link_ok(a, b)` holds.  Unreachable (or failed) crossbars
+  /// keep distance -1.
+  std::vector<int> bfs_crossbar_distance(
+      int xbar_id, const std::vector<char>& failed,
+      const std::function<bool(int, int)>& link_ok) const;
 
   /// Which inter-CU switches a given (cu, lower crossbar) uplinks to.
   std::vector<int> uplink_switches(int lower_xbar_index) const;

@@ -221,6 +221,37 @@ TEST(CustomTopology, ThirteenCuSystemHasBothSides) {
   EXPECT_EQ(hist[5], 11 * 172 + 8);
 }
 
+// ---------------------------------------------------------------------------
+// Masked BFS (the floor used by the degraded-routing audit)
+// ---------------------------------------------------------------------------
+
+TEST(MaskedBfs, MatchesUnmaskedWhenNothingIsFailed) {
+  const Topology t = Topology::roadrunner();
+  const std::vector<char> none(static_cast<std::size_t>(t.crossbar_count()), 0);
+  const auto all_ok = [](int, int) { return true; };
+  EXPECT_EQ(t.bfs_crossbar_distance(0), t.bfs_crossbar_distance(0, none, all_ok));
+}
+
+TEST(MaskedBfs, FailedCrossbarsAreNotTraversed) {
+  const Topology t = Topology::roadrunner();
+  // Cut every upper crossbar of CU 0: its lower crossbars can no longer
+  // reach each other (or anything else).
+  std::vector<char> failed(static_cast<std::size_t>(t.crossbar_count()), 0);
+  for (int u = 0; u < t.params().upper_xbars_per_cu; ++u)
+    failed[static_cast<std::size_t>(t.cu_upper_id(0, u))] = 1;
+  const auto all_ok = [](int, int) { return true; };
+  const std::vector<int> dist =
+      t.bfs_crossbar_distance(t.cu_lower_id(0, 0), failed, all_ok);
+  EXPECT_EQ(dist[static_cast<std::size_t>(t.cu_lower_id(0, 0))], 1);
+  EXPECT_EQ(dist[static_cast<std::size_t>(t.cu_upper_id(0, 0))], -1);
+  // The sibling lower crossbar is only reachable the long way round: up a
+  // switch, down into another CU, across its fat tree, and back (7 vs the
+  // healthy 3).
+  EXPECT_EQ(dist[static_cast<std::size_t>(t.cu_lower_id(0, 1))], 7);
+  // The inter-CU fabric is still reachable through the uplinks.
+  EXPECT_GT(dist[static_cast<std::size_t>(t.cu_lower_id(1, 0))], 0);
+}
+
 TEST(CustomTopology, AverageHopsGrowsWithCuCount) {
   TopologyParams small;
   small.cu_count = 4;
