@@ -6,7 +6,10 @@
 // from the Panasas I/O model, and the expected completion time of
 // interrupted HPL and Sweep3D runs -- cross-checked against a
 // discrete-event replay with restart.  Everything is seeded, so every run
-// of this binary prints bit-identical tables.
+// of this binary prints bit-identical tables.  The 1 -> 3,060 node
+// studies and the interval sweep run on the parallel sweep engine
+// (src/sweep_engine) -- same seeds, same numbers, N-way faster; pass a
+// path argument to also dump the scenario records as JSON lines.
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -17,6 +20,7 @@
 #include "fault/resilience_study.hpp"
 #include "io/io_model.hpp"
 #include "model/sweep_model.hpp"
+#include "sweep_engine/studies.hpp"
 #include "topo/degraded.hpp"
 #include "util/table.hpp"
 
@@ -40,11 +44,13 @@ void add_study_rows(rr::Table& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rr;
   const arch::SystemSpec system = arch::make_roadrunner();
   const topo::Topology topo = topo::Topology::roadrunner();
   const fault::StudyConfig cfg;  // defaults: 4 GiB/node state, seeded
+  engine::SweepEngine eng;       // hardware-concurrency workers
+  engine::ResultStore store;
 
   // ---- component census and fleet MTBF ------------------------------------
   print_banner(std::cout, "Failure budget: component census at 3,060 nodes");
@@ -117,7 +123,8 @@ int main() {
   const std::vector<int> node_counts{1, 64, 256, 1024, 2048, 3060};
   Table hpl({"nodes", "fault-free (h)", "MTBF (h)", "C (s)", "tau (min)",
              "expected (h)", "overhead (%)", "interrupts", "efficiency (%)"});
-  add_study_rows(hpl, fault::hpl_study(system, topo, node_counts, cfg));
+  add_study_rows(hpl, engine::parallel_hpl_study(eng, system, topo, node_counts,
+                                                 cfg, &store));
   hpl.print(std::cout);
 
   // ---- interrupted timed Sweep3D run --------------------------------------
@@ -129,8 +136,9 @@ int main() {
                               std::to_string(sweep_iters) + " iterations");
   Table sweep({"nodes", "fault-free (h)", "MTBF (h)", "C (s)", "tau (min)",
                "expected (h)", "overhead (%)", "interrupts", "efficiency (%)"});
-  add_study_rows(sweep,
-                 fault::sweep_study(system, topo, node_counts, sweep_iters, cfg));
+  add_study_rows(sweep, engine::parallel_sweep_study(eng, system, topo,
+                                                     node_counts, sweep_iters,
+                                                     cfg, &store));
   sweep.print(std::cout);
 
   // ---- checkpoint-interval sensitivity at full scale ----------------------
@@ -138,9 +146,9 @@ int main() {
                "Checkpoint-interval sweep, full-machine LINPACK");
   Table iv({"interval / optimal", "interval (min)", "analytic (h)",
             "DES mean (h)", "overhead (%)"});
-  for (const auto& p : fault::interval_sweep(system, topo, topo.node_count(),
-                                             hpl_s, {0.25, 0.5, 1.0, 2.0, 4.0},
-                                             cfg)) {
+  for (const auto& p : engine::parallel_interval_sweep(
+           eng, system, topo, topo.node_count(), hpl_s,
+           {0.25, 0.5, 1.0, 2.0, 4.0}, cfg, &store)) {
     iv.row()
         .add(p.relative_to_optimal, 2)
         .add(p.interval_s / 60.0, 1)
@@ -201,5 +209,12 @@ int main() {
          "interval the expected completion stays within a few percent of\n"
          "fault-free, and the fat tree routes around any single switch or\n"
          "crossbar loss without losing connectivity.\n";
+  if (argc > 1) {
+    if (store.write_file(argv[1]))
+      std::cout << "\nwrote " << store.size() << " scenario records to "
+                << argv[1] << " (JSON lines)\n";
+    else
+      std::cout << "\nfailed to write " << argv[1] << "\n";
+  }
   return agrees ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include "arch/calibration.hpp"
 #include "comm/fabric.hpp"
+#include "sweep_engine/studies.hpp"
 #include "topo/topology.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -15,10 +16,13 @@
 int main() {
   using namespace rr;
   namespace cal = rr::arch::cal;
-  const topo::Topology t = topo::Topology::roadrunner();
-  const comm::FabricModel fabric(t);
+  // Topology + fabric come from the engine's memoized context; the 3,059
+  // destination pings fan out across the worker pool in node-order chunks.
+  const engine::SharedContext& ctx = engine::SharedContext::instance();
+  const comm::FabricModel& fabric = ctx.fabric();
+  engine::SweepEngine eng;
 
-  const auto sweep = fabric.latency_sweep(topo::NodeId{0});
+  const auto sweep = engine::parallel_latency_sweep(eng, fabric, topo::NodeId{0});
 
   print_banner(std::cout, "Fig. 10: latency plateaus (rank 0 -> all nodes)");
   std::map<int, std::vector<double>> by_hops;

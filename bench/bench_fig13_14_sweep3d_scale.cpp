@@ -1,15 +1,20 @@
 // Fig. 13 + Fig. 14 reproduction: Sweep3D at scale on 1 - 3,060 nodes
 // (5x5x400 per SPE, weak scaling) -- the non-accelerated Opteron runs,
 // the accelerated runs on the early software stack ("Measured"), and the
-// peak-PCIe projection ("best"); plus the acceleration factors.
+// peak-PCIe projection ("best"); plus the acceleration factors.  The 13
+// node counts run as one parallel batch on the sweep engine with the SPU
+// rate tables memoized (bit-identical to the serial series).
 #include <iostream>
 
 #include "model/sweep_model.hpp"
+#include "sweep_engine/studies.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace rr;
-  const auto series = model::figure13_series(model::paper_node_counts());
+  engine::SweepEngine eng;
+  const auto series =
+      engine::parallel_scale_series(eng, model::paper_node_counts());
 
   print_banner(std::cout, "Fig. 13: Sweep3D iteration time at scale (s)");
   Table t({"nodes", "Opteron only", "Cell (measured)", "Cell (best)"});

@@ -19,6 +19,7 @@
 #include "comm/fabric.hpp"
 #include "fault/resilience_study.hpp"
 #include "model/linpack.hpp"
+#include "model/sweep_model.hpp"
 #include "topo/topology.hpp"
 
 namespace rr::core {
@@ -60,6 +61,19 @@ class RoadrunnerSystem {
   /// Expected completion of the full-machine LINPACK run under
   /// MTBF-driven failures with Young/Daly checkpointing (extension).
   fault::ResiliencePoint hpl_resilience(const fault::StudyConfig& cfg = {}) const;
+
+  /// Engine-backed parallel sweeps (src/sweep_engine): batches of
+  /// independent scenarios across `threads` workers (0 = hardware
+  /// concurrency), bit-identical to the serial studies for any thread
+  /// count.  The facade is the entry point the benches and examples use.
+  std::vector<fault::ResiliencePoint> hpl_resilience_sweep(
+      const std::vector<int>& node_counts, const fault::StudyConfig& cfg = {},
+      int threads = 0) const;
+  std::vector<fault::ResiliencePoint> sweep3d_resilience_sweep(
+      const std::vector<int>& node_counts, int iterations,
+      const fault::StudyConfig& cfg = {}, int threads = 0) const;
+  std::vector<model::ScalePoint> sweep3d_scaling(
+      const std::vector<int>& node_counts, int threads = 0) const;
 
  private:
   RoadrunnerSystem(arch::SystemSpec spec, topo::Topology topo);

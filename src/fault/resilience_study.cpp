@@ -27,15 +27,15 @@ arch::SystemSpec scaled_system(const arch::SystemSpec& full, int nodes) {
   return s;
 }
 
-std::uint64_t point_seed(std::uint64_t base, int nodes, int salt) {
+}  // namespace
+
+std::uint64_t study_point_seed(std::uint64_t base, int nodes, int salt) {
   std::uint64_t s = base;
   std::uint64_t h = splitmix64(s);
   s = h ^ (static_cast<std::uint64_t>(nodes) << 20) ^
       static_cast<std::uint64_t>(salt);
   return splitmix64(s);
 }
-
-}  // namespace
 
 double hpl_fault_free_s(const arch::SystemSpec& system, int nodes) {
   RR_EXPECTS(nodes >= 1 && nodes <= system.node_count());
@@ -86,7 +86,8 @@ ResiliencePoint study_point(const arch::SystemSpec& system,
       Duration::seconds(fault_free_s), Duration::seconds(pt.interval_s),
       Duration::seconds(pt.checkpoint_s), Duration::seconds(cfg.restart_s)};
   const MonteCarloResult mc = expected_interrupted_makespan(
-      plan, pt.system_mtbf_h, cfg.replications, point_seed(cfg.seed, nodes, 0));
+      plan, pt.system_mtbf_h, cfg.replications,
+      study_point_seed(cfg.seed, nodes, 0));
 
   pt.simulated_s = mc.mean_makespan_s;
   pt.mean_failures = mc.mean_failures;
@@ -121,12 +122,12 @@ std::vector<ResiliencePoint> sweep_study(const arch::SystemSpec& system,
   return out;
 }
 
-std::vector<IntervalPoint> interval_sweep(const arch::SystemSpec& system,
-                                          const topo::Topology& full_topo,
-                                          int nodes, double fault_free_s,
-                                          const std::vector<double>& multiples,
-                                          const StudyConfig& cfg) {
+IntervalPoint interval_point(const arch::SystemSpec& system,
+                             const topo::Topology& full_topo, int nodes,
+                             double fault_free_s, double multiple, int salt,
+                             const StudyConfig& cfg) {
   RR_EXPECTS(fault_free_s > 0.0);
+  RR_EXPECTS(multiple > 0.0);
   const ComponentCounts counts = census_for_nodes(full_topo, nodes);
   const double mtbf_h = system_mtbf_h(counts, cfg.reliability);
   const double mtbf_s = mtbf_h * 3600.0;
@@ -135,24 +136,30 @@ std::vector<IntervalPoint> interval_sweep(const arch::SystemSpec& system,
   const double optimal_s =
       std::min(daly_interval_s(checkpoint_s, mtbf_s), fault_free_s);
 
+  IntervalPoint p;
+  p.relative_to_optimal = multiple;
+  p.interval_s = std::min(optimal_s * multiple, fault_free_s);
+  p.analytic_s = expected_makespan_s(fault_free_s, p.interval_s, checkpoint_s,
+                                     cfg.restart_s, mtbf_s);
+  const sim::RestartPlan plan{
+      Duration::seconds(fault_free_s), Duration::seconds(p.interval_s),
+      Duration::seconds(checkpoint_s), Duration::seconds(cfg.restart_s)};
+  const MonteCarloResult mc = expected_interrupted_makespan(
+      plan, mtbf_h, cfg.replications, study_point_seed(cfg.seed, nodes, salt));
+  p.simulated_s = mc.mean_makespan_s;
+  return p;
+}
+
+std::vector<IntervalPoint> interval_sweep(const arch::SystemSpec& system,
+                                          const topo::Topology& full_topo,
+                                          int nodes, double fault_free_s,
+                                          const std::vector<double>& multiples,
+                                          const StudyConfig& cfg) {
   std::vector<IntervalPoint> out;
   out.reserve(multiples.size());
-  int salt = 1;
-  for (const double m : multiples) {
-    RR_EXPECTS(m > 0.0);
-    IntervalPoint p;
-    p.relative_to_optimal = m;
-    p.interval_s = std::min(optimal_s * m, fault_free_s);
-    p.analytic_s = expected_makespan_s(fault_free_s, p.interval_s,
-                                       checkpoint_s, cfg.restart_s, mtbf_s);
-    const sim::RestartPlan plan{
-        Duration::seconds(fault_free_s), Duration::seconds(p.interval_s),
-        Duration::seconds(checkpoint_s), Duration::seconds(cfg.restart_s)};
-    const MonteCarloResult mc = expected_interrupted_makespan(
-        plan, mtbf_h, cfg.replications, point_seed(cfg.seed, nodes, salt++));
-    p.simulated_s = mc.mean_makespan_s;
-    out.push_back(p);
-  }
+  for (std::size_t i = 0; i < multiples.size(); ++i)
+    out.push_back(interval_point(system, full_topo, nodes, fault_free_s,
+                                 multiples[i], static_cast<int>(i) + 1, cfg));
   return out;
 }
 

@@ -50,6 +50,12 @@ struct ResiliencePoint {
   }
 };
 
+/// Monte-Carlo seed for the study point at `nodes` (salt 0 = node-count
+/// studies; the interval sweep salts by point index).  Exposed so the
+/// parallel sweep engine replays the exact serial streams: child seeds
+/// are split from `base` per scenario, never shared.
+std::uint64_t study_point_seed(std::uint64_t base, int nodes, int salt);
+
 /// Fault-free HPL walk time at `nodes`, memory-proportional problem size
 /// (N scales with sqrt(nodes) off the full machine's N = 2.3M).
 double hpl_fault_free_s(const arch::SystemSpec& system, int nodes);
@@ -89,5 +95,13 @@ std::vector<IntervalPoint> interval_sweep(const arch::SystemSpec& system,
                                           int nodes, double fault_free_s,
                                           const std::vector<double>& multiples,
                                           const StudyConfig& cfg = {});
+
+/// One point of the interval sweep: interval = min(optimal * multiple,
+/// fault_free).  `salt` feeds the Monte-Carlo seed; the serial sweep uses
+/// salt = point index + 1, and the parallel engine must match it.
+IntervalPoint interval_point(const arch::SystemSpec& system,
+                             const topo::Topology& full_topo, int nodes,
+                             double fault_free_s, double multiple, int salt,
+                             const StudyConfig& cfg = {});
 
 }  // namespace rr::fault

@@ -240,6 +240,12 @@ std::vector<Fig12Row> figure12_rows() {
 }
 
 ScalePoint scale_point(int nodes, const SweepWorkload& w) {
+  return scale_point(nodes, w, spe_compute(arch::CellVariant::kPowerXCell8i),
+                     opteron_1800_compute());
+}
+
+ScalePoint scale_point(int nodes, const SweepWorkload& w,
+                       const SweepCompute& spe_pxc, const SweepCompute& opteron) {
   RR_EXPECTS(nodes >= 1);
   ScalePoint pt;
   pt.nodes = nodes;
@@ -247,7 +253,7 @@ ScalePoint scale_point(int nodes, const SweepWorkload& w) {
   // Accelerated runs: one rank per SPE, 32 per node.
   const int cell_ranks = 32 * nodes;
   const auto [cpx, cpy] = choose_grid(cell_ranks);
-  const SweepCompute pxc = spe_compute(arch::CellVariant::kPowerXCell8i);
+  const SweepCompute& pxc = spe_pxc;
   const CommMode cell_measured =
       nodes == 1 ? CommMode::kIntraSocketEib : CommMode::kMeasuredEarly;
   const CommMode cell_best =
@@ -265,8 +271,7 @@ ScalePoint scale_point(int nodes, const SweepWorkload& w) {
   const CommMode opteron_mode =
       nodes == 1 ? CommMode::kSharedMemory : CommMode::kOpteronMpi;
   pt.opteron_s =
-      estimate_iteration(wo, opx, opy, opteron_1800_compute(), opteron_mode)
-          .total.sec();
+      estimate_iteration(wo, opx, opy, opteron, opteron_mode).total.sec();
   return pt;
 }
 

@@ -125,6 +125,13 @@ struct ScalePoint {
   double improvement_best() const { return opteron_s / cell_best_s; }
 };
 ScalePoint scale_point(int nodes, const SweepWorkload& w = {});
+/// Same point with the SPU-pipeline-derived SPE rate and the Opteron rate
+/// supplied by the caller (the sweep engine memoizes them once per batch
+/// instead of re-running the pipeline simulator per point).  Bit-identical
+/// to scale_point(nodes, w) when handed spe_compute(kPowerXCell8i) and
+/// opteron_1800_compute().
+ScalePoint scale_point(int nodes, const SweepWorkload& w,
+                       const SweepCompute& spe_pxc, const SweepCompute& opteron);
 std::vector<ScalePoint> figure13_series(const std::vector<int>& node_counts);
 std::vector<int> paper_node_counts();  ///< 1,2,4,...,2048,3060
 

@@ -1,0 +1,22 @@
+#include "sweep_engine/context.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace rr::engine {
+
+SharedContext::SharedContext()
+    : system_(arch::make_roadrunner()),
+      topo_(topo::Topology::roadrunner()),
+      fabric_(topo_),
+      spe_pxc_(model::spe_compute(arch::CellVariant::kPowerXCell8i)),
+      opteron_1800_(model::opteron_1800_compute()) {}
+
+const SharedContext& SharedContext::instance() {
+  static std::once_flag once;
+  static std::unique_ptr<SharedContext> ctx;
+  std::call_once(once, [] { ctx = std::unique_ptr<SharedContext>(new SharedContext()); });
+  return *ctx;
+}
+
+}  // namespace rr::engine

@@ -1,0 +1,42 @@
+// Memoized shared precomputations for sweep scenarios.
+//
+// The expensive inputs that every scenario of a batch needs -- the full
+// 3,060-node fat-tree with its deterministic routing tables, the fabric
+// latency model on top of it, and the SPU-pipeline-derived Sweep3D rate
+// tables -- are built exactly once behind std::call_once and handed to
+// scenarios as const references.  After construction the context is
+// immutable, so any number of worker threads may read it concurrently.
+#pragma once
+
+#include "arch/spec.hpp"
+#include "comm/fabric.hpp"
+#include "model/sweep_model.hpp"
+#include "topo/topology.hpp"
+
+namespace rr::engine {
+
+class SharedContext {
+ public:
+  /// The process-wide context for the full Roadrunner build.
+  static const SharedContext& instance();
+
+  const arch::SystemSpec& system() const { return system_; }
+  const topo::Topology& topology() const { return topo_; }
+  const comm::FabricModel& fabric() const { return fabric_; }
+
+  /// SPU-pipeline-derived SPE rate (PowerXCell 8i, optimized kernel) --
+  /// the pipeline simulation runs once here instead of once per scenario.
+  const model::SweepCompute& spe_pxc() const { return spe_pxc_; }
+  const model::SweepCompute& opteron_1800() const { return opteron_1800_; }
+
+ private:
+  SharedContext();
+
+  arch::SystemSpec system_;
+  topo::Topology topo_;
+  comm::FabricModel fabric_;
+  model::SweepCompute spe_pxc_;
+  model::SweepCompute opteron_1800_;
+};
+
+}  // namespace rr::engine

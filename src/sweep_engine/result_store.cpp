@@ -1,0 +1,80 @@
+#include "sweep_engine/result_store.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace rr::engine {
+
+Json to_json(const Provenance& p) {
+  Json o = Json::object();
+  o.set("engine", p.engine)
+      .set("threads", p.threads)
+      // Decimal string: a 64-bit seed does not survive a double round trip.
+      .set("base_seed", std::to_string(p.base_seed));
+  return o;
+}
+
+Json to_json(const fault::ResiliencePoint& pt) {
+  Json o = Json::object();
+  o.set("scenario", "resilience_point")
+      .set("nodes", pt.nodes)
+      .set("fault_free_s", pt.fault_free_s)
+      .set("system_mtbf_h", pt.system_mtbf_h)
+      .set("checkpoint_s", pt.checkpoint_s)
+      .set("interval_s", pt.interval_s)
+      .set("analytic_s", pt.analytic_s)
+      .set("simulated_s", pt.simulated_s)
+      .set("mean_failures", pt.mean_failures)
+      .set("overhead_analytic", pt.overhead_analytic)
+      .set("overhead_simulated", pt.overhead_simulated)
+      .set("efficiency", pt.efficiency);
+  return o;
+}
+
+Json to_json(const fault::IntervalPoint& pt) {
+  Json o = Json::object();
+  o.set("scenario", "interval_point")
+      .set("relative_to_optimal", pt.relative_to_optimal)
+      .set("interval_s", pt.interval_s)
+      .set("analytic_s", pt.analytic_s)
+      .set("simulated_s", pt.simulated_s);
+  return o;
+}
+
+Json to_json(const model::ScalePoint& pt) {
+  Json o = Json::object();
+  o.set("scenario", "sweep3d_scale_point")
+      .set("nodes", pt.nodes)
+      .set("opteron_s", pt.opteron_s)
+      .set("cell_measured_s", pt.cell_measured_s)
+      .set("cell_best_s", pt.cell_best_s);
+  return o;
+}
+
+void ResultStore::append(Json record, const Provenance& provenance) {
+  record.set("provenance", to_json(provenance));
+  std::lock_guard lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+void ResultStore::write(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  for (const Json& r : records_) {
+    r.dump_to(os);
+    os << '\n';
+  }
+}
+
+bool ResultStore::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rr::engine

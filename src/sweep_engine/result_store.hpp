@@ -1,0 +1,48 @@
+// Machine-readable result store for sweep batches: one JSON object per
+// scenario (JSON lines), each carrying the scenario parameters, its
+// metrics, the derived seed, and provenance (engine vs. serial, thread
+// count) so a stored row can be replayed bit-exactly later.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/resilience_study.hpp"
+#include "model/sweep_model.hpp"
+#include "util/json.hpp"
+
+namespace rr::engine {
+
+/// Provenance stamped onto every record of a batch.
+struct Provenance {
+  std::string engine = "parallel";  ///< "parallel" | "serial"
+  int threads = 1;
+  std::uint64_t base_seed = 0;
+};
+
+Json to_json(const Provenance& p);
+Json to_json(const fault::ResiliencePoint& pt);
+Json to_json(const fault::IntervalPoint& pt);
+Json to_json(const model::ScalePoint& pt);
+
+/// Thread-safe, append-only record collection; writes JSON lines.
+class ResultStore {
+ public:
+  /// Append one scenario record (object), stamping `provenance` in.
+  void append(Json record, const Provenance& provenance);
+
+  std::size_t size() const;
+  /// One compact JSON object per line, in append order.
+  void write(std::ostream& os) const;
+  /// Returns false (and leaves no partial file guarantee) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Json> records_;
+};
+
+}  // namespace rr::engine

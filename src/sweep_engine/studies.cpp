@@ -1,0 +1,142 @@
+#include "sweep_engine/studies.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace rr::engine {
+
+namespace {
+
+Provenance provenance_of(SweepEngine& eng, std::uint64_t base_seed) {
+  Provenance p;
+  p.engine = eng.threads() == 1 ? "serial" : "parallel";
+  p.threads = eng.threads();
+  p.base_seed = base_seed;
+  return p;
+}
+
+void record_points(ResultStore* store, const Provenance& prov,
+                   const std::vector<fault::ResiliencePoint>& pts,
+                   const fault::StudyConfig& cfg) {
+  if (!store) return;
+  for (const auto& pt : pts) {
+    Json r = to_json(pt);
+    // Decimal string: a 64-bit seed does not survive a double round trip.
+    r.set("seed",
+          std::to_string(fault::study_point_seed(cfg.seed, pt.nodes, 0)));
+    store->append(std::move(r), prov);
+  }
+}
+
+}  // namespace
+
+std::vector<fault::ResiliencePoint> parallel_hpl_study(
+    SweepEngine& eng, const arch::SystemSpec& system,
+    const topo::Topology& full_topo, const std::vector<int>& node_counts,
+    const fault::StudyConfig& cfg, ResultStore* store) {
+  const auto out = eng.map<fault::ResiliencePoint>(
+      static_cast<int>(node_counts.size()), [&](int i) {
+        const int nodes = node_counts[static_cast<std::size_t>(i)];
+        return fault::study_point(system, full_topo, nodes,
+                                  fault::hpl_fault_free_s(system, nodes), cfg);
+      });
+  record_points(store, provenance_of(eng, cfg.seed), out, cfg);
+  return out;
+}
+
+std::vector<fault::ResiliencePoint> parallel_sweep_study(
+    SweepEngine& eng, const arch::SystemSpec& system,
+    const topo::Topology& full_topo, const std::vector<int>& node_counts,
+    int iterations, const fault::StudyConfig& cfg, ResultStore* store) {
+  RR_EXPECTS(iterations >= 1);
+  // The fault-free time is scale_point().cell_measured_s * iterations,
+  // exactly as fault::sweep_fault_free_s computes it -- but with the SPE
+  // rate tables from the shared context instead of a fresh SPU pipeline
+  // simulation per point.
+  const SharedContext& ctx = SharedContext::instance();
+  const auto out = eng.map<fault::ResiliencePoint>(
+      static_cast<int>(node_counts.size()), [&](int i) {
+        const int nodes = node_counts[static_cast<std::size_t>(i)];
+        const double fault_free_s =
+            model::scale_point(nodes, {}, ctx.spe_pxc(), ctx.opteron_1800())
+                .cell_measured_s *
+            iterations;
+        return fault::study_point(system, full_topo, nodes, fault_free_s, cfg);
+      });
+  record_points(store, provenance_of(eng, cfg.seed), out, cfg);
+  return out;
+}
+
+std::vector<fault::IntervalPoint> parallel_interval_sweep(
+    SweepEngine& eng, const arch::SystemSpec& system,
+    const topo::Topology& full_topo, int nodes, double fault_free_s,
+    const std::vector<double>& multiples, const fault::StudyConfig& cfg,
+    ResultStore* store) {
+  const auto out = eng.map<fault::IntervalPoint>(
+      static_cast<int>(multiples.size()), [&](int i) {
+        // Serial interval_sweep salts the Monte-Carlo seed with the point
+        // index + 1; replay the same salt so streams line up.
+        return fault::interval_point(system, full_topo, nodes, fault_free_s,
+                                     multiples[static_cast<std::size_t>(i)],
+                                     i + 1, cfg);
+      });
+  if (store) {
+    const Provenance prov = provenance_of(eng, cfg.seed);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      Json r = to_json(out[i]);
+      r.set("nodes", nodes)
+          .set("seed", std::to_string(fault::study_point_seed(
+                           cfg.seed, nodes, static_cast<int>(i) + 1)));
+      store->append(std::move(r), prov);
+    }
+  }
+  return out;
+}
+
+std::vector<model::ScalePoint> parallel_scale_series(
+    SweepEngine& eng, const std::vector<int>& node_counts,
+    const model::SweepWorkload& w, ResultStore* store) {
+  const SharedContext& ctx = SharedContext::instance();
+  const auto out = eng.map<model::ScalePoint>(
+      static_cast<int>(node_counts.size()), [&](int i) {
+        return model::scale_point(node_counts[static_cast<std::size_t>(i)], w,
+                                  ctx.spe_pxc(), ctx.opteron_1800());
+      });
+  if (store) {
+    const Provenance prov = provenance_of(eng, 0);
+    for (const auto& pt : out) store->append(to_json(pt), prov);
+  }
+  return out;
+}
+
+std::vector<comm::LatencySweepPoint> parallel_latency_sweep(
+    SweepEngine& eng, const comm::FabricModel& fabric, topo::NodeId src) {
+  const int n = fabric.topology().node_count();
+  // Coarse chunks: one scenario per span of destinations, reassembled in
+  // node order so the result is identical to the serial sweep.
+  const int chunk = std::max(64, n / (8 * std::max(1, eng.threads())));
+  const int chunks = (n + chunk - 1) / chunk;
+  const auto parts = eng.map<std::vector<comm::LatencySweepPoint>>(
+      chunks, [&](int c) {
+        const int lo = c * chunk;
+        const int hi = std::min(n, lo + chunk);
+        std::vector<comm::LatencySweepPoint> pts;
+        pts.reserve(static_cast<std::size_t>(hi - lo));
+        for (int d = lo; d < hi; ++d) {
+          if (d == src.v) continue;
+          comm::LatencySweepPoint pt;
+          pt.node = d;
+          pt.hops = fabric.topology().hop_count(src, topo::NodeId{d});
+          pt.latency = fabric.zero_byte_latency(src, topo::NodeId{d});
+          pts.push_back(pt);
+        }
+        return pts;
+      });
+  std::vector<comm::LatencySweepPoint> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
+
+}  // namespace rr::engine

@@ -1,0 +1,90 @@
+#include "sweep_engine/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace rr::engine {
+
+ThreadPool::ThreadPool(int threads) {
+  RR_EXPECTS(threads >= 0);
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::vector<std::exception_ptr> ThreadPool::for_each_index(
+    int n, const std::function<void(int)>& fn) {
+  RR_EXPECTS(n >= 0);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  if (n == 0) return errors;
+  {
+    std::lock_guard lock(mu_);
+    fn_ = &fn;
+    batch_n_ = n;
+    done_ = 0;
+    errors_ = &errors;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [this, n] { return done_ == n; });
+    fn_ = nullptr;
+    errors_ = nullptr;
+    batch_n_ = 0;
+  }
+  return errors;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* fn = nullptr;
+    int n = 0;
+    std::vector<std::exception_ptr>* errors = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      n = batch_n_;
+      errors = errors_;
+    }
+    int completed = 0;
+    while (true) {
+      const int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        // Each index owns its slot; publication happens-before the
+        // caller's read via the mutex-guarded done count below.
+        (*errors)[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+      ++completed;
+    }
+    {
+      std::lock_guard lock(mu_);
+      done_ += completed;
+      if (done_ == n) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace rr::engine

@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the scenario-sweep engine.  The only
+// operation is an indexed batch: run fn(i) for every i in [0, n), with
+// workers claiming indices from a shared atomic counter.  Per-index
+// exceptions are captured into their own slot, so one failing scenario
+// never poisons the rest of the batch.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rr::engine {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(i) for i = 0..n-1 across the workers; blocks until every
+  /// index has run exactly once.  Returns one entry per index: nullptr
+  /// on success, the captured exception otherwise.  Not reentrant.
+  std::vector<std::exception_ptr> for_each_index(
+      int n, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  // Batch state, all guarded by mu_ except the index counter.
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for a new batch
+  std::condition_variable done_cv_;   ///< caller waits for completion
+  const std::function<void(int)>* fn_ = nullptr;
+  int batch_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
+  std::atomic<int> next_{0};
+  std::vector<std::exception_ptr>* errors_ = nullptr;
+};
+
+}  // namespace rr::engine

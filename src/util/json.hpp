@@ -1,0 +1,97 @@
+// Minimal JSON value, parser, and writer for machine-readable result
+// stores (JSON lines) and the golden regression files.
+//
+// Numbers are IEEE doubles serialized with %.17g, which round-trips every
+// finite double bit-exactly (max_digits10); golden comparisons can
+// therefore assert bitwise equality across a dump/parse cycle.  Objects
+// preserve insertion order so serialization is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rr {
+
+class Json;
+
+/// Thrown on malformed input or wrong-kind access.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}
+  Json(int v) : kind_(Kind::kNumber), num_(v) {}
+  Json(std::int64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;  ///< number checked to be integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field access; `at` throws on a missing key.
+  Json& set(std::string key, Json value);  ///< append or overwrite; returns *this
+  const Json* find(std::string_view key) const;
+  const Json& at(std::string_view key) const;
+  /// Array element access.
+  const Json& at(std::size_t index) const;
+  std::size_t size() const;
+
+  void push_back(Json v);
+
+  /// Compact single-line serialization (JSONL-friendly); `indent >= 0`
+  /// pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+  void dump_to(std::ostream& os, int indent = -1) const;
+
+  /// Parse one JSON document (throws JsonError; trailing garbage rejected).
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void write(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// %.17g formatting used for every JSON number (bit-exact round trip).
+std::string format_json_number(double v);
+
+}  // namespace rr

@@ -1,0 +1,313 @@
+// Golden regression suite: checked-in JSON references for the paper's
+// headline numbers, recomputed through the sweep engine and compared
+// BITWISE (every JSON number is a %.17g double that round-trips
+// exactly; "tolerance": 0 in a golden file means memcmp equality, and a
+// 1-ulp perturbation fails loudly).
+//
+// Regenerating after an intentional model change:
+//
+//   RR_REGEN_GOLDEN=1 ./tests/golden_test
+//
+// rewrites every golden file in tests/golden/ (the source tree --
+// RR_GOLDEN_DIR is baked in at compile time), then rerun the test
+// without the variable and commit the diff alongside the change that
+// explains it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/checkpoint_policy.hpp"
+#include "fault/failure_model.hpp"
+#include "fault/resilience_study.hpp"
+#include "io/io_model.hpp"
+#include "mem/memory_system.hpp"
+#include "model/sweep_model.hpp"
+#include "sweep_engine/studies.hpp"
+#include "util/json.hpp"
+
+namespace rr {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(RR_GOLDEN_DIR) + "/" + name;
+}
+
+bool regenerating() {
+  const char* v = std::getenv("RR_REGEN_GOLDEN");
+  return v != nullptr && *v != '\0';  // RR_REGEN_GOLDEN= (empty) is "off"
+}
+
+bool numbers_match(double expected, double computed, double tolerance) {
+  if (tolerance == 0.0)
+    return std::memcmp(&expected, &computed, sizeof(double)) == 0;
+  return std::abs(expected - computed) <= tolerance;
+}
+
+/// Recursive comparison with a path for the failure message; `tolerance`
+/// applies to every number in the document.
+void expect_json_match(const Json& expected, const Json& computed,
+                       double tolerance, const std::string& path) {
+  ASSERT_EQ(static_cast<int>(expected.kind()),
+            static_cast<int>(computed.kind()))
+      << path;
+  switch (expected.kind()) {
+    case Json::Kind::kNumber:
+      EXPECT_TRUE(
+          numbers_match(expected.as_double(), computed.as_double(), tolerance))
+          << path << ": golden " << format_json_number(expected.as_double())
+          << " vs computed " << format_json_number(computed.as_double());
+      break;
+    case Json::Kind::kString:
+      EXPECT_EQ(expected.as_string(), computed.as_string()) << path;
+      break;
+    case Json::Kind::kBool:
+      EXPECT_EQ(expected.as_bool(), computed.as_bool()) << path;
+      break;
+    case Json::Kind::kArray: {
+      ASSERT_EQ(expected.size(), computed.size()) << path;
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        expect_json_match(expected.at(i), computed.at(i), tolerance,
+                          path + "[" + std::to_string(i) + "]");
+      break;
+    }
+    case Json::Kind::kObject: {
+      for (const auto& [key, value] : expected.as_object()) {
+        const Json* got = computed.find(key);
+        ASSERT_NE(got, nullptr) << path << "." << key << " missing";
+        expect_json_match(value, *got, tolerance, path + "." + key);
+      }
+      ASSERT_EQ(expected.as_object().size(), computed.as_object().size())
+          << path << ": extra fields in computed document";
+      break;
+    }
+    case Json::Kind::kNull:
+      break;
+  }
+}
+
+/// Compare `computed` against the golden file, or rewrite the file when
+/// RR_REGEN_GOLDEN is set.  The file's top-level "tolerance" field (0 =
+/// bitwise) governs every numeric comparison in it.
+void check_golden(const std::string& name, Json computed) {
+  const std::string path = golden_path(name);
+  if (regenerating()) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+    os << computed.dump(2) << "\n";
+    ASSERT_TRUE(os.good()) << "write failed: " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << "missing golden file " << path
+                         << " (run with RR_REGEN_GOLDEN=1 to create)";
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const Json expected = Json::parse(buf.str());
+  const double tolerance = expected.at("tolerance").as_double();
+  expect_json_match(expected, computed, tolerance, name);
+}
+
+// ---------------------------------------------------------------------------
+// Table I: hop-count classes from node 0, computed through the engine
+// ---------------------------------------------------------------------------
+
+Json compute_table1() {
+  const auto& ctx = engine::SharedContext::instance();
+  const topo::Topology& t = ctx.topology();
+  const topo::NodeId src{0};
+  const topo::Attachment& a0 = t.attachment(src);
+
+  // Partial per-chunk class counts across the pool, merged in index order.
+  struct Counts {
+    long long counts[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    long long hist[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    long long hop_total = 0;
+  };
+  engine::SweepEngine eng;
+  const int chunk = 256;
+  const int chunks = (t.node_count() + chunk - 1) / chunk;
+  const auto parts = eng.map<Counts>(chunks, [&](int c) {
+    Counts part;
+    const int lo = c * chunk;
+    const int hi = std::min(t.node_count(), lo + chunk);
+    for (int d = lo; d < hi; ++d) {
+      const topo::Attachment& att = t.attachment(topo::NodeId{d});
+      const int h = t.hop_count(src, topo::NodeId{d});
+      part.hop_total += h;
+      ++part.hist[h];
+      int cls = 0;
+      if (d == src.v) cls = 0;
+      else if (att.cu == a0.cu && att.lower_xbar == a0.lower_xbar) cls = 1;
+      else if (att.cu == a0.cu) cls = 2;
+      else if (att.cu < 12 && att.lower_xbar == a0.lower_xbar) cls = 3;
+      else if (att.cu < 12) cls = 4;
+      else if (att.lower_xbar == a0.lower_xbar) cls = 5;
+      else cls = 6;
+      ++part.counts[cls];
+    }
+    return part;
+  });
+  Counts total;
+  for (const Counts& p : parts) {
+    total.hop_total += p.hop_total;
+    for (int i = 0; i < 8; ++i) {
+      total.counts[i] += p.counts[i];
+      total.hist[i] += p.hist[i];
+    }
+  }
+
+  static const char* kClassNames[] = {
+      "self",
+      "within_same_crossbar",
+      "within_same_cu",
+      "cus_2_12_same_crossbar",
+      "cus_2_12_different_crossbar",
+      "cus_13_17_same_crossbar",
+      "cus_13_17_different_crossbar"};
+  Json classes = Json::object();
+  for (int i = 0; i < 7; ++i)
+    classes.set(kClassNames[i], static_cast<double>(total.counts[i]));
+  Json hist = Json::array();
+  for (int h = 0; h < 8; ++h) hist.push_back(static_cast<double>(total.hist[h]));
+
+  Json doc = Json::object();
+  doc.set("tolerance", 0.0)
+      .set("classes", std::move(classes))
+      .set("hop_histogram", std::move(hist))
+      .set("average_hops",
+           static_cast<double>(total.hop_total) / t.node_count());
+  return doc;
+}
+
+TEST(Golden, Table1HopCounts) { check_golden("table1_hops.json", compute_table1()); }
+
+// ---------------------------------------------------------------------------
+// Table III: memory bandwidth and latency, three processors in parallel
+// ---------------------------------------------------------------------------
+
+Json compute_table3() {
+  struct Row {
+    double triad_gbps = 0.0;
+    double latency_ns = 0.0;
+  };
+  engine::SweepEngine eng;
+  const auto rows = eng.map<Row>(3, [&](int i) {
+    Row r;
+    switch (i) {
+      case 0: {
+        const mem::MemoryModel m(mem::opteron_memory_system());
+        r.triad_gbps = m.streams_triad_reported().gbps();
+        r.latency_ns = m.memtime_latency(DataSize::mib(64)).ns();
+        break;
+      }
+      case 1: {
+        const mem::MemoryModel m(mem::ppe_memory_system());
+        r.triad_gbps = m.streams_triad_reported().gbps();
+        r.latency_ns = m.memtime_latency(DataSize::mib(64)).ns();
+        break;
+      }
+      default:
+        r.triad_gbps = mem::spe_local_store_triad().gbps();
+        r.latency_ns = mem::spe_local_store_memtime().ns();
+    }
+    return r;
+  });
+  static const char* kNames[] = {"opteron", "ppe", "spe"};
+  Json doc = Json::object();
+  doc.set("tolerance", 0.0);
+  for (int i = 0; i < 3; ++i) {
+    Json row = Json::object();
+    row.set("triad_gbps", rows[static_cast<std::size_t>(i)].triad_gbps)
+        .set("latency_ns", rows[static_cast<std::size_t>(i)].latency_ns);
+    doc.set(kNames[i], std::move(row));
+  }
+  return doc;
+}
+
+TEST(Golden, Table3Memory) { check_golden("table3_memory.json", compute_table3()); }
+
+// ---------------------------------------------------------------------------
+// Fig. 12: single-socket Sweep3D rows
+// ---------------------------------------------------------------------------
+
+Json compute_fig12() {
+  Json rows = Json::array();
+  for (const auto& row : model::figure12_rows()) {
+    Json r = Json::object();
+    r.set("processor", row.processor)
+        .set("single_core_ms", row.single_core_ms)
+        .set("socket_ms", row.socket_ms)
+        .set("socket_ranks", row.socket_ranks)
+        .set("socket_cells_per_s", row.socket_cells_per_s)
+        .set("spe_socket_advantage", row.spe_socket_advantage);
+    rows.push_back(std::move(r));
+  }
+  Json doc = Json::object();
+  doc.set("tolerance", 0.0).set("rows", std::move(rows));
+  return doc;
+}
+
+TEST(Golden, Fig12Sweep3dSingleSocket) {
+  check_golden("fig12_sweep3d.json", compute_fig12());
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form Young/Daly checkpoint optimum at full scale
+// ---------------------------------------------------------------------------
+
+Json compute_daly() {
+  const auto& ctx = engine::SharedContext::instance();
+  const int nodes = ctx.topology().node_count();
+  const fault::StudyConfig cfg;
+
+  const double mtbf_h =
+      fault::system_mtbf_h(fault::census(ctx.topology()), cfg.reliability);
+  const double mtbf_s = mtbf_h * 3600.0;
+  const io::IoSubsystem io(ctx.system());
+  const double checkpoint_s = io.checkpoint_cost(cfg.state_per_node).sec();
+  const double fault_free_s = fault::hpl_fault_free_s(ctx.system(), nodes);
+  const double daly_s =
+      std::min(fault::daly_interval_s(checkpoint_s, mtbf_s), fault_free_s);
+
+  Json doc = Json::object();
+  doc.set("tolerance", 0.0)
+      .set("nodes", nodes)
+      .set("system_mtbf_h", mtbf_h)
+      .set("checkpoint_s", checkpoint_s)
+      .set("fault_free_hpl_s", fault_free_s)
+      .set("young_interval_s", fault::young_interval_s(checkpoint_s, mtbf_s))
+      .set("daly_interval_s", daly_s)
+      .set("analytic_makespan_s",
+           fault::expected_makespan_s(fault_free_s, daly_s, checkpoint_s,
+                                      cfg.restart_s, mtbf_s));
+  return doc;
+}
+
+TEST(Golden, DalyCheckpointOptimum) {
+  check_golden("daly_checkpoint.json", compute_daly());
+}
+
+// ---------------------------------------------------------------------------
+// The comparison machinery itself: one ulp must fail
+// ---------------------------------------------------------------------------
+
+TEST(Golden, OneUlpPerturbationIsDetected) {
+  const double v = 5.3812;  // any representative metric value
+  const double bumped = std::nextafter(v, 2.0 * v);
+  ASSERT_NE(v, bumped);
+  EXPECT_TRUE(numbers_match(v, v, 0.0));
+  EXPECT_FALSE(numbers_match(v, bumped, 0.0));
+  // And a full dump/parse cycle preserves the distinction.
+  const Json a = Json::parse(format_json_number(v));
+  const Json b = Json::parse(format_json_number(bumped));
+  EXPECT_FALSE(numbers_match(a.as_double(), b.as_double(), 0.0));
+  EXPECT_TRUE(numbers_match(a.as_double(), v, 0.0));
+}
+
+}  // namespace
+}  // namespace rr

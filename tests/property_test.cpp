@@ -3,12 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "comm/channel.hpp"
 #include "mem/cache.hpp"
 #include "spu/pipeline.hpp"
 #include "sweep/solver.hpp"
+#include "sweep_engine/engine.hpp"
 #include "topo/topology.hpp"
 #include "util/rng.hpp"
 
@@ -21,15 +28,26 @@ namespace {
 
 class TopologyInvariants : public ::testing::TestWithParam<int> {
  protected:
-  topo::Topology build() const {
-    topo::TopologyParams p;
-    p.cu_count = GetParam();
-    return topo::Topology::build(p);
+  // One topology per CU count for the whole process: the five invariant
+  // cases at a given parameter share it instead of rebuilding (17 CUs is
+  // a 3,060-node, 900-crossbar construction per call).
+  static const topo::Topology& topology_for(int cu_count) {
+    static std::map<int, topo::Topology> cache;
+    static std::mutex mu;
+    const std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(cu_count);
+    if (it == cache.end()) {
+      topo::TopologyParams p;
+      p.cu_count = cu_count;
+      it = cache.emplace(cu_count, topo::Topology::build(p)).first;
+    }
+    return it->second;
   }
+  const topo::Topology& build() const { return topology_for(GetParam()); }
 };
 
 TEST_P(TopologyInvariants, HistogramAccountsForEveryNode) {
-  const topo::Topology t = build();
+  const topo::Topology& t = build();
   const auto hist = t.hop_histogram(topo::NodeId{0});
   int total = 0;
   for (const int c : hist) total += c;
@@ -39,7 +57,7 @@ TEST_P(TopologyInvariants, HistogramAccountsForEveryNode) {
 TEST_P(TopologyInvariants, HopCountsAreOddOrZero) {
   // Every route visits alternating levels, so crossbar counts are odd
   // (source and destination crossbars included) except self = 0.
-  const topo::Topology t = build();
+  const topo::Topology& t = build();
   const auto hist = t.hop_histogram(topo::NodeId{0});
   for (std::size_t h = 0; h < hist.size(); ++h) {
     if (h == 0) continue;
@@ -48,12 +66,12 @@ TEST_P(TopologyInvariants, HopCountsAreOddOrZero) {
 }
 
 TEST_P(TopologyInvariants, MaxHopsIsSeven) {
-  const topo::Topology t = build();
+  const topo::Topology& t = build();
   EXPECT_LE(t.hop_histogram(topo::NodeId{0}).size(), 8u);
 }
 
 TEST_P(TopologyInvariants, RandomRoutesAreValidAndSymmetricInLength) {
-  const topo::Topology t = build();
+  const topo::Topology& t = build();
   Rng rng(GetParam() * 1000 + 7);
   for (int trial = 0; trial < 50; ++trial) {
     const int a = static_cast<int>(rng.next_below(t.node_count()));
@@ -69,7 +87,7 @@ TEST_P(TopologyInvariants, RandomRoutesAreValidAndSymmetricInLength) {
 }
 
 TEST_P(TopologyInvariants, FirstHopIsAlwaysTheSourceCrossbar) {
-  const topo::Topology t = build();
+  const topo::Topology& t = build();
   Rng rng(GetParam());
   for (int trial = 0; trial < 20; ++trial) {
     const int a = static_cast<int>(rng.next_below(t.node_count()));
@@ -309,6 +327,83 @@ TEST(SolverProperties, SourceIncreaseRaisesFluxGloballyDespiteDdRinging) {
   EXPECT_GT(more_total, base_total);
   EXPECT_GT(more.scalar_flux[p.idx(3, 3, 3)], base.scalar_flux[p.idx(3, 3, 3)] * 1.5);
 }
+
+// ---------------------------------------------------------------------------
+// Sweep-engine thread-pool invariants (src/sweep_engine)
+// ---------------------------------------------------------------------------
+
+class PoolInvariants : public ::testing::TestWithParam<int> {};  // thread count
+
+TEST_P(PoolInvariants, EveryScenarioRunsExactlyOnce) {
+  engine::SweepEngine eng({GetParam()});
+  const int n = 97;  // not a multiple of any worker count
+  std::vector<std::atomic<int>> runs(static_cast<std::size_t>(n));
+  eng.map<int>(n, [&](int i) {
+    return runs[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << "scenario " << i;
+}
+
+TEST_P(PoolInvariants, ResultsKeyedByIndexNotCompletionOrder) {
+  engine::SweepEngine eng({GetParam()});
+  const int n = 31;
+  // Early indices sleep longest, so on a multi-worker pool high indices
+  // complete first; slots must still line up with scenario indices.
+  const auto out = eng.map<int>(n, [&](int i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(40 * (n - i)));
+    return i * i + 3;
+  });
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i + 3);
+}
+
+TEST_P(PoolInvariants, OneThrowingScenarioDoesNotPoisonTheBatch) {
+  engine::SweepEngine eng({GetParam()});
+  const int n = 30;
+  const auto out = eng.try_map<int>(n, [&](int i) {
+    if (i % 5 == 0) throw std::runtime_error("scenario " + std::to_string(i));
+    return 10 * i;
+  });
+  EXPECT_EQ(out.failed, 6);
+  EXPECT_FALSE(out.ok());
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (i % 5 == 0) {
+      EXPECT_FALSE(out.results[idx].has_value()) << i;
+      EXPECT_EQ(out.errors[idx], "scenario " + std::to_string(i));
+    } else {
+      ASSERT_TRUE(out.results[idx].has_value()) << i;  // others completed
+      EXPECT_EQ(*out.results[idx], 10 * i);
+      EXPECT_TRUE(out.errors[idx].empty());
+    }
+  }
+}
+
+TEST_P(PoolInvariants, MapRethrowsTheFirstFailureByIndex) {
+  engine::SweepEngine eng({GetParam()});
+  try {
+    eng.map<int>(20, [&](int i) {
+      if (i == 7 || i == 13) throw std::runtime_error("boom");
+      return i;
+    });
+    FAIL() << "map() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "scenario 7: boom");  // lowest index, not first done
+  }
+}
+
+TEST_P(PoolInvariants, EmptyBatchCompletesImmediately) {
+  engine::SweepEngine eng({GetParam()});
+  const auto out = eng.map<int>(0, [](int) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PoolInvariants,
+                         ::testing::Values(1, 2, 3, 8), [](const auto& inf) {
+                           return "t" + std::to_string(inf.param);
+                         });
 
 TEST(SolverProperties, UniformSourceScalingIsExactlyMonotone) {
   // Without spatial gradients there is no DD ringing: scaling a uniform

@@ -1,0 +1,222 @@
+// Determinism contract of the parallel sweep engine: for every ported
+// study, N threads == 1 thread == the legacy serial loop, bit for bit
+// (memcmp over the doubles, not a tolerance), and the result order is
+// keyed by scenario index regardless of completion order.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fault/resilience_study.hpp"
+#include "model/sweep_model.hpp"
+#include "sweep_engine/result_store.hpp"
+#include "sweep_engine/studies.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace rr {
+namespace {
+
+bool bits_eq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_identical(const std::vector<fault::ResiliencePoint>& a,
+                      const std::vector<fault::ResiliencePoint>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].nodes, b[i].nodes) << what << " point " << i;
+    EXPECT_TRUE(bits_eq(a[i].fault_free_s, b[i].fault_free_s)) << what << i;
+    EXPECT_TRUE(bits_eq(a[i].system_mtbf_h, b[i].system_mtbf_h)) << what << i;
+    EXPECT_TRUE(bits_eq(a[i].checkpoint_s, b[i].checkpoint_s)) << what << i;
+    EXPECT_TRUE(bits_eq(a[i].interval_s, b[i].interval_s)) << what << i;
+    EXPECT_TRUE(bits_eq(a[i].analytic_s, b[i].analytic_s)) << what << i;
+    EXPECT_TRUE(bits_eq(a[i].simulated_s, b[i].simulated_s)) << what << i;
+    EXPECT_TRUE(bits_eq(a[i].mean_failures, b[i].mean_failures)) << what << i;
+    EXPECT_TRUE(bits_eq(a[i].efficiency, b[i].efficiency)) << what << i;
+  }
+}
+
+// Small enough to run in milliseconds, big enough that failures happen.
+const std::vector<int>& study_nodes() {
+  static const std::vector<int> n{1, 180, 1024, 3060};
+  return n;
+}
+
+fault::StudyConfig quick_config() {
+  fault::StudyConfig cfg;
+  cfg.replications = 300;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Seed splitting
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSeed, DistinctAcrossIndicesAndBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i)
+    seen.insert(engine::scenario_seed(0x0a0dbeefULL, i));
+  EXPECT_EQ(seen.size(), 10'000u);  // no collisions over a realistic batch
+  EXPECT_NE(engine::scenario_seed(1, 0), engine::scenario_seed(2, 0));
+  // Deterministic: same (base, index) -> same seed, every time.
+  EXPECT_EQ(engine::scenario_seed(7, 42), engine::scenario_seed(7, 42));
+}
+
+// ---------------------------------------------------------------------------
+// Engine vs. legacy serial, bit for bit, at several thread counts
+// ---------------------------------------------------------------------------
+
+class EngineVsSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineVsSerial, HplStudyIsBitIdentical) {
+  const auto& ctx = engine::SharedContext::instance();
+  const auto serial = fault::hpl_study(ctx.system(), ctx.topology(),
+                                       study_nodes(), quick_config());
+  engine::SweepEngine eng({GetParam()});
+  const auto parallel = engine::parallel_hpl_study(
+      eng, ctx.system(), ctx.topology(), study_nodes(), quick_config());
+  expect_identical(serial, parallel, "hpl");
+}
+
+TEST_P(EngineVsSerial, SweepStudyIsBitIdentical) {
+  const auto& ctx = engine::SharedContext::instance();
+  const int iters = 2000;
+  const auto serial = fault::sweep_study(ctx.system(), ctx.topology(),
+                                         study_nodes(), iters, quick_config());
+  engine::SweepEngine eng({GetParam()});
+  const auto parallel = engine::parallel_sweep_study(
+      eng, ctx.system(), ctx.topology(), study_nodes(), iters, quick_config());
+  expect_identical(serial, parallel, "sweep3d");
+}
+
+TEST_P(EngineVsSerial, IntervalSweepIsBitIdentical) {
+  const auto& ctx = engine::SharedContext::instance();
+  const int nodes = ctx.topology().node_count();
+  const double hpl_s = fault::hpl_fault_free_s(ctx.system(), nodes);
+  const std::vector<double> multiples{0.25, 0.5, 1.0, 2.0, 4.0};
+  const auto serial = fault::interval_sweep(ctx.system(), ctx.topology(), nodes,
+                                            hpl_s, multiples, quick_config());
+  engine::SweepEngine eng({GetParam()});
+  const auto parallel =
+      engine::parallel_interval_sweep(eng, ctx.system(), ctx.topology(), nodes,
+                                      hpl_s, multiples, quick_config());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(bits_eq(serial[i].interval_s, parallel[i].interval_s)) << i;
+    EXPECT_TRUE(bits_eq(serial[i].analytic_s, parallel[i].analytic_s)) << i;
+    EXPECT_TRUE(bits_eq(serial[i].simulated_s, parallel[i].simulated_s)) << i;
+  }
+}
+
+TEST_P(EngineVsSerial, ScaleSeriesIsBitIdentical) {
+  const auto serial = model::figure13_series(model::paper_node_counts());
+  engine::SweepEngine eng({GetParam()});
+  const auto parallel =
+      engine::parallel_scale_series(eng, model::paper_node_counts());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].nodes, parallel[i].nodes);
+    EXPECT_TRUE(bits_eq(serial[i].opteron_s, parallel[i].opteron_s)) << i;
+    EXPECT_TRUE(bits_eq(serial[i].cell_measured_s, parallel[i].cell_measured_s))
+        << i;
+    EXPECT_TRUE(bits_eq(serial[i].cell_best_s, parallel[i].cell_best_s)) << i;
+  }
+}
+
+TEST_P(EngineVsSerial, LatencySweepIsBitIdentical) {
+  const auto& ctx = engine::SharedContext::instance();
+  const auto serial = ctx.fabric().latency_sweep(topo::NodeId{0});
+  engine::SweepEngine eng({GetParam()});
+  const auto parallel =
+      engine::parallel_latency_sweep(eng, ctx.fabric(), topo::NodeId{0});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].node, parallel[i].node) << i;
+    EXPECT_EQ(serial[i].hops, parallel[i].hops) << i;
+    EXPECT_EQ(serial[i].latency.ps(), parallel[i].latency.ps()) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, EngineVsSerial, ::testing::Values(1, 2, 7),
+                         [](const auto& inf) {
+                           return "t" + std::to_string(inf.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Scheduling-order independence
+// ---------------------------------------------------------------------------
+
+TEST(SweepEngine, ResultsIndependentOfCompletionOrder) {
+  // Scenario i sleeps so that high indices finish FIRST on a multi-worker
+  // pool; the result vector must come back in index order with the exact
+  // serial values anyway.
+  const int n = 24;
+  auto scenario = [](int i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * (24 - i)));
+    Rng rng(engine::scenario_seed(99, static_cast<std::uint64_t>(i)));
+    double acc = 0.0;
+    for (int k = 0; k < 100; ++k) acc += rng.next_double();
+    return acc;
+  };
+  std::vector<double> serial;
+  for (int i = 0; i < n; ++i) serial.push_back(scenario(i));
+
+  for (const int threads : {1, 2, 5, 8}) {
+    engine::SweepEngine eng({threads});
+    const auto out = eng.map<double>(n, scenario);
+    ASSERT_EQ(out.size(), serial.size()) << threads;
+    for (int i = 0; i < n; ++i)
+      EXPECT_TRUE(bits_eq(out[static_cast<std::size_t>(i)],
+                          serial[static_cast<std::size_t>(i)]))
+          << "threads=" << threads << " i=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result store records and provenance
+// ---------------------------------------------------------------------------
+
+TEST(ResultStore, RecordsCarryParamsMetricsSeedAndProvenance) {
+  const auto& ctx = engine::SharedContext::instance();
+  engine::SweepEngine eng({2});
+  engine::ResultStore store;
+  const auto cfg = quick_config();
+  engine::parallel_hpl_study(eng, ctx.system(), ctx.topology(), study_nodes(),
+                             cfg, &store);
+  ASSERT_EQ(store.size(), study_nodes().size());
+
+  std::ostringstream os;
+  store.write(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    const Json rec = Json::parse(line);
+    ASSERT_EQ(rec.kind(), Json::Kind::kObject) << line;
+    ASSERT_NE(rec.find("nodes"), nullptr);
+    ASSERT_NE(rec.find("seed"), nullptr);
+    ASSERT_NE(rec.find("simulated_s"), nullptr);
+    const Json* prov = rec.find("provenance");
+    ASSERT_NE(prov, nullptr);
+    EXPECT_EQ(prov->at("engine").as_string(), "parallel");
+    EXPECT_EQ(prov->at("threads").as_double(), 2.0);
+    EXPECT_EQ(prov->at("base_seed").as_string(), std::to_string(cfg.seed));
+    ++lines;
+  }
+  EXPECT_EQ(lines, store.size());
+
+  // The stored seed is exactly the serial derivation for that scenario
+  // (a decimal string: 64-bit seeds don't fit in a JSON double).
+  const Json first = Json::parse(os.str().substr(0, os.str().find('\n')));
+  EXPECT_EQ(first.at("seed").as_string(),
+            std::to_string(fault::study_point_seed(cfg.seed, study_nodes()[0], 0)));
+}
+
+}  // namespace
+}  // namespace rr

@@ -226,14 +226,14 @@ TEST(CustomTopology, ThirteenCuSystemHasBothSides) {
 // ---------------------------------------------------------------------------
 
 TEST(MaskedBfs, MatchesUnmaskedWhenNothingIsFailed) {
-  const Topology t = Topology::roadrunner();
+  const Topology& t = full();  // shared fixture; don't rebuild 3,060 nodes
   const std::vector<char> none(static_cast<std::size_t>(t.crossbar_count()), 0);
   const auto all_ok = [](int, int) { return true; };
   EXPECT_EQ(t.bfs_crossbar_distance(0), t.bfs_crossbar_distance(0, none, all_ok));
 }
 
 TEST(MaskedBfs, FailedCrossbarsAreNotTraversed) {
-  const Topology t = Topology::roadrunner();
+  const Topology& t = full();  // shared fixture; don't rebuild 3,060 nodes
   // Cut every upper crossbar of CU 0: its lower crossbars can no longer
   // reach each other (or anything else).
   std::vector<char> failed(static_cast<std::size_t>(t.crossbar_count()), 0);
