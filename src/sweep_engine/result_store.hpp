@@ -16,7 +16,9 @@
 
 namespace rr::engine {
 
-/// Provenance stamped onto every record of a batch.
+/// Provenance stamped onto every record of a batch.  Engine-produced
+/// records are always "parallel" (regardless of thread count, which is
+/// recorded separately); "serial" marks records from the legacy loops.
 struct Provenance {
   std::string engine = "parallel";  ///< "parallel" | "serial"
   int threads = 1;

@@ -10,7 +10,10 @@ namespace {
 
 Provenance provenance_of(SweepEngine& eng, std::uint64_t base_seed) {
   Provenance p;
-  p.engine = eng.threads() == 1 ? "serial" : "parallel";
+  // Engine-produced records are always "parallel", even with one worker:
+  // "serial" is reserved for the legacy serial loops, and the thread
+  // count field distinguishes 1-thread engine runs.
+  p.engine = "parallel";
   p.threads = eng.threads();
   p.base_seed = base_seed;
   return p;

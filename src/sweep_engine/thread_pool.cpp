@@ -27,34 +27,33 @@ ThreadPool::~ThreadPool() {
 std::vector<std::exception_ptr> ThreadPool::for_each_index(
     int n, const std::function<void(int)>& fn) {
   RR_EXPECTS(n >= 0);
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
-  if (n == 0) return errors;
+  if (n == 0) return {};
+  auto batch = std::make_shared<Batch>();
+  batch->fn = fn;
+  batch->n = n;
+  batch->errors.resize(static_cast<std::size_t>(n));
   {
     std::lock_guard lock(mu_);
-    fn_ = &fn;
-    batch_n_ = n;
-    done_ = 0;
-    errors_ = &errors;
-    next_.store(0, std::memory_order_relaxed);
+    batch_ = batch;
     ++generation_;
   }
   work_cv_.notify_all();
   {
     std::unique_lock lock(mu_);
-    done_cv_.wait(lock, [this, n] { return done_ == n; });
-    fn_ = nullptr;
-    errors_ = nullptr;
-    batch_n_ = 0;
+    done_cv_.wait(lock, [&batch] { return batch->done == batch->n; });
+    if (batch_ == batch) batch_ = nullptr;
   }
-  return errors;
+  // done == n means every index ran and its worker checked in under the
+  // mutex; a straggler that wakes for this batch later finds next >= n
+  // and never touches fn or errors, so moving the vector out is safe
+  // (the Batch itself stays alive through the straggler's shared_ptr).
+  return std::move(batch->errors);
 }
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   while (true) {
-    const std::function<void(int)>* fn = nullptr;
-    int n = 0;
-    std::vector<std::exception_ptr>* errors = nullptr;
+    std::shared_ptr<Batch> batch;
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [this, seen_generation] {
@@ -62,27 +61,26 @@ void ThreadPool::worker_loop() {
       });
       if (stop_) return;
       seen_generation = generation_;
-      fn = fn_;
-      n = batch_n_;
-      errors = errors_;
+      batch = batch_;
     }
+    if (!batch) continue;  // batch already drained and cleared
     int completed = 0;
     while (true) {
-      const int i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
+      const int i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->n) break;
       try {
-        (*fn)(i);
+        batch->fn(i);
       } catch (...) {
         // Each index owns its slot; publication happens-before the
         // caller's read via the mutex-guarded done count below.
-        (*errors)[static_cast<std::size_t>(i)] = std::current_exception();
+        batch->errors[static_cast<std::size_t>(i)] = std::current_exception();
       }
       ++completed;
     }
-    {
+    if (completed > 0) {
       std::lock_guard lock(mu_);
-      done_ += completed;
-      if (done_ == n) done_cv_.notify_one();
+      batch->done += completed;
+      if (batch->done == batch->n) done_cv_.notify_one();
     }
   }
 }

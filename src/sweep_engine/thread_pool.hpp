@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,21 +34,29 @@ class ThreadPool {
       int n, const std::function<void(int)>& fn);
 
  private:
+  // Each for_each_index call owns one heap-allocated Batch, shared with
+  // the workers via shared_ptr.  A worker that wakes late for an old
+  // batch still holds a valid snapshot: it sees next >= n, contributes
+  // nothing, and can never touch the state of a newer batch.  The fn is
+  // copied in so it outlives the caller's temporary.
+  struct Batch {
+    std::function<void(int)> fn;
+    int n = 0;
+    std::atomic<int> next{0};
+    int done = 0;  ///< completed indices; guarded by the pool mutex
+    std::vector<std::exception_ptr> errors;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
 
-  // Batch state, all guarded by mu_ except the index counter.
   std::mutex mu_;
   std::condition_variable work_cv_;   ///< workers wait for a new batch
   std::condition_variable done_cv_;   ///< caller waits for completion
-  const std::function<void(int)>* fn_ = nullptr;
-  int batch_n_ = 0;
-  std::uint64_t generation_ = 0;
-  int done_ = 0;
-  bool stop_ = false;
-  std::atomic<int> next_{0};
-  std::vector<std::exception_ptr>* errors_ = nullptr;
+  std::shared_ptr<Batch> batch_;      ///< current batch; guarded by mu_
+  std::uint64_t generation_ = 0;      ///< bumped per batch; guarded by mu_
+  bool stop_ = false;                 ///< guarded by mu_
 };
 
 }  // namespace rr::engine

@@ -142,6 +142,20 @@ class Parser {
     return Json(std::move(arr));
   }
 
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("json: bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+      else fail("json: bad \\u escape");
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -162,24 +176,33 @@ class Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) fail("json: bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
-              else fail("json: bad \\u escape");
+            unsigned code = parse_hex4();
+            if (code >= 0xd800 && code <= 0xdbff) {
+              // High surrogate: a \uDC00-\uDFFF low half must follow;
+              // combine into the supplementary code point.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u')
+                fail("json: unpaired surrogate in \\u escape");
+              pos_ += 2;
+              const unsigned low = parse_hex4();
+              if (low < 0xdc00 || low > 0xdfff)
+                fail("json: unpaired surrogate in \\u escape");
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            } else if (code >= 0xdc00 && code <= 0xdfff) {
+              fail("json: unpaired surrogate in \\u escape");
             }
-            // Result-store strings are ASCII; encode BMP code points as UTF-8.
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xc0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3f));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xf0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
               out += static_cast<char>(0x80 | (code & 0x3f));
             }

@@ -400,6 +400,22 @@ TEST_P(PoolInvariants, EmptyBatchCompletesImmediately) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST_P(PoolInvariants, BackToBackBatchesStayIsolated) {
+  // Regression: batches much smaller than the pool, issued back to back,
+  // so workers routinely wake for a batch that faster peers have already
+  // drained.  A straggler must never claim indices from -- or write
+  // into -- a later batch's state (use-after-free / lost-result race).
+  engine::SweepEngine eng({GetParam()});
+  for (int batch = 0; batch < 500; ++batch) {
+    const int n = 1 + batch % 3;
+    const auto out = eng.map<int>(n, [&](int i) { return batch * 100 + i; });
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(n)) << "batch " << batch;
+    for (int i = 0; i < n; ++i)
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], batch * 100 + i)
+          << "batch " << batch << " i " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, PoolInvariants,
                          ::testing::Values(1, 2, 3, 8), [](const auto& inf) {
                            return "t" + std::to_string(inf.param);

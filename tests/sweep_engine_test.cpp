@@ -218,5 +218,24 @@ TEST(ResultStore, RecordsCarryParamsMetricsSeedAndProvenance) {
             std::to_string(fault::study_point_seed(cfg.seed, study_nodes()[0], 0)));
 }
 
+TEST(ResultStore, OneThreadEngineRunsStillStampParallel) {
+  // "serial" provenance is reserved for the legacy serial loops; an
+  // engine run with one worker is distinguished by threads=1, not by
+  // pretending it came from the serial code path.
+  const auto& ctx = engine::SharedContext::instance();
+  engine::SweepEngine eng({1});
+  engine::ResultStore store;
+  engine::parallel_hpl_study(eng, ctx.system(), ctx.topology(), {180},
+                             quick_config(), &store);
+  ASSERT_EQ(store.size(), 1u);
+  std::ostringstream os;
+  store.write(os);
+  const Json rec = Json::parse(os.str().substr(0, os.str().find('\n')));
+  const Json* prov = rec.find("provenance");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(prov->at("engine").as_string(), "parallel");
+  EXPECT_EQ(prov->at("threads").as_double(), 1.0);
+}
+
 }  // namespace
 }  // namespace rr

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -194,6 +195,38 @@ TEST(Cli, FallbacksWhenAbsent) {
   EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
   EXPECT_EQ(cli.get_int("missing", 7), 7);
   EXPECT_FALSE(cli.get_bool("missing", false));
+}
+
+// ---------------------------------------------------------------------------
+// JSON string escapes
+// ---------------------------------------------------------------------------
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // \u escapes for BMP code points: 1-, 2-, and 3-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("\u00e9")").as_string(), "\xc3\xa9");  // e-acute
+  EXPECT_EQ(Json::parse(R"("\u20ac")").as_string(),
+            "\xe2\x82\xac");  // euro sign
+}
+
+TEST(Json, SurrogatePairsCombineToSupplementaryCodePoint) {
+  // U+1F600 as \ud83d\ude00 must become 4-byte UTF-8, not two
+  // 3-byte CESU-8 halves.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  // U+10000 (first supplementary code point) embedded between ASCII.
+  EXPECT_EQ(Json::parse(R"("a\ud800\udc00b")").as_string(),
+            "a\xf0\x90\x80\x80"
+            "b");
+}
+
+TEST(Json, UnpairedSurrogatesAreRejected) {
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), std::runtime_error);  // lone high
+  EXPECT_THROW(Json::parse(R"("\ude00")"), std::runtime_error);  // lone low
+  EXPECT_THROW(Json::parse(R"("\ud83dx")"),                 // high + text
+               std::runtime_error);
+  EXPECT_THROW(Json::parse(R"("\ud83d\u0041")"),            // high + BMP
+               std::runtime_error);
 }
 
 }  // namespace
