@@ -9,7 +9,11 @@
 // of this binary prints bit-identical tables.  The 1 -> 3,060 node
 // studies and the interval sweep run on the parallel sweep engine
 // (src/sweep_engine) -- same seeds, same numbers, N-way faster; pass a
-// path argument to also dump the scenario records as JSON lines.
+// path argument to also dump the scenario records as JSON lines.  Pass
+// --journal=PATH to run the HPL walk through the crash-safe resumable
+// runtime instead: completed points are journaled as they finish, a
+// relaunch resumes from the journal, and the quarantine summary makes
+// any degraded scenarios visible.
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -22,6 +26,7 @@
 #include "model/sweep_model.hpp"
 #include "sweep_engine/studies.hpp"
 #include "topo/degraded.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -120,12 +125,34 @@ int main(int argc, char** argv) {
 
   // ---- interrupted HPL walk, 1 -> 3,060 nodes -----------------------------
   print_banner(std::cout, "Interrupted LINPACK walk (memory-scaled problem)");
+  const CliParser cli(argc, argv);
   const std::vector<int> node_counts{1, 64, 256, 1024, 2048, 3060};
   Table hpl({"nodes", "fault-free (h)", "MTBF (h)", "C (s)", "tau (min)",
              "expected (h)", "overhead (%)", "interrupts", "efficiency (%)"});
-  add_study_rows(hpl, engine::parallel_hpl_study(eng, system, topo, node_counts,
-                                                 cfg, &store));
-  hpl.print(std::cout);
+  if (const std::string jpath = cli.get("journal", ""); !jpath.empty()) {
+    // Resume-aware entry point: the walk survives a kill and picks up
+    // from its journal on relaunch.
+    engine::SweepJournal journal(jpath,
+                                 engine::hpl_campaign_params(node_counts, cfg),
+                                 static_cast<int>(node_counts.size()));
+    if (journal.resumed())
+      std::cout << "resuming journal " << jpath << ": "
+                << journal.completed_count() << "/" << journal.scenarios()
+                << " points already done"
+                << (journal.tail_recovered() ? " (torn tail recovered)" : "")
+                << "\n";
+    engine::ResilientReport report;
+    add_study_rows(hpl, engine::resumable_hpl_study(eng, system, topo,
+                                                    node_counts, cfg, journal,
+                                                    {}, &report));
+    hpl.print(std::cout);
+    std::cout << "\n";
+    report.print(std::cout);
+  } else {
+    add_study_rows(hpl, engine::parallel_hpl_study(eng, system, topo,
+                                                   node_counts, cfg, &store));
+    hpl.print(std::cout);
+  }
 
   // ---- interrupted timed Sweep3D run --------------------------------------
   // Enough wavefront iterations that the full-machine run takes a few
@@ -209,12 +236,13 @@ int main(int argc, char** argv) {
          "interval the expected completion stays within a few percent of\n"
          "fault-free, and the fat tree routes around any single switch or\n"
          "crossbar loss without losing connectivity.\n";
-  if (argc > 1) {
-    if (store.write_file(argv[1]))
+  if (!cli.positional().empty()) {
+    const std::string& path = cli.positional().front();
+    if (store.write_file(path))
       std::cout << "\nwrote " << store.size() << " scenario records to "
-                << argv[1] << " (JSON lines)\n";
+                << path << " (JSON lines)\n";
     else
-      std::cout << "\nfailed to write " << argv[1] << "\n";
+      std::cout << "\nfailed to write " << path << "\n";
   }
   return agrees ? 0 : 1;
 }

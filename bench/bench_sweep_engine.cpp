@@ -6,7 +6,11 @@
 // the bit-identity gate; the speedup is reported honestly and the >= 3x
 // expectation is only scored when the host actually has >= 4 cores.
 // Pass a path argument to dump the parallel run's scenario records as
-// JSON lines.
+// JSON lines.  Pass --journal=PATH to additionally run the sweep through
+// the crash-safe resumable runtime (resilient.hpp): the journaled run
+// must reproduce the engine results bit for bit (also part of the exit
+// gate), resumes from an existing journal, and prints the quarantine
+// summary.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -17,6 +21,7 @@
 #include "fault/resilience_study.hpp"
 #include "sweep_engine/studies.hpp"
 #include "topo/topology.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -127,12 +132,34 @@ int main(int argc, char** argv) {
                  "The determinism gate above is the binding check here.\n";
   }
 
-  if (argc > 1) {
-    if (store.write_file(argv[1]))
-      std::cout << "\nwrote " << store.size() << " scenario records to "
-                << argv[1] << " (JSON lines)\n";
-    else
-      std::cout << "\nfailed to write " << argv[1] << "\n";
+  const CliParser cli(argc, argv);
+  bool resumable_ok = true;
+  if (const std::string jpath = cli.get("journal", ""); !jpath.empty()) {
+    engine::SweepJournal journal(jpath,
+                                 engine::hpl_campaign_params(node_counts, cfg),
+                                 static_cast<int>(node_counts.size()));
+    if (journal.resumed())
+      std::cout << "\nresuming journal " << jpath << ": "
+                << journal.completed_count() << "/" << journal.scenarios()
+                << " scenarios already done"
+                << (journal.tail_recovered() ? " (torn tail recovered)" : "")
+                << "\n";
+    engine::ResilientReport report;
+    const auto resumed = engine::resumable_hpl_study(
+        engN, system, topo, node_counts, cfg, journal, {}, &report);
+    resumable_ok = bit_identical(n_thread, resumed);
+    std::cout << "\nbit-identical metrics, engine vs journaled/resumed run: "
+              << (resumable_ok ? "yes" : "NO") << "\n";
+    report.print(std::cout);
   }
-  return (serial_vs_one && one_vs_n) ? 0 : 1;
+
+  if (!cli.positional().empty()) {
+    const std::string& path = cli.positional().front();
+    if (store.write_file(path))
+      std::cout << "\nwrote " << store.size() << " scenario records to "
+                << path << " (JSON lines)\n";
+    else
+      std::cout << "\nfailed to write " << path << "\n";
+  }
+  return (serial_vs_one && one_vs_n && resumable_ok) ? 0 : 1;
 }

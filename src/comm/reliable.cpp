@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/taxonomy.hpp"
 #include "util/expect.hpp"
 
 namespace rr::comm {
@@ -39,12 +40,11 @@ ReliableChannel::ReliableChannel(ChannelModel model, RetryPolicy policy)
 
 Duration ReliableChannel::backoff_after(int losses) const {
   RR_EXPECTS(losses >= 1);
-  Duration b = policy_.initial_backoff;
-  for (int i = 1; i < losses; ++i) {
-    b = b * policy_.backoff_multiplier;
-    if (b >= policy_.max_backoff) return policy_.max_backoff;
-  }
-  return std::min(b, policy_.max_backoff);
+  // Shared truncated-exponential shape (fault/taxonomy.hpp); the sweep
+  // runtime's retry policy backs off with the same sequence.
+  return fault::backoff_after(policy_.initial_backoff,
+                              policy_.backoff_multiplier, policy_.max_backoff,
+                              losses);
 }
 
 void ReliableChannel::send(sim::Simulator& sim, const LinkState& link,

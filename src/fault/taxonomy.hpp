@@ -1,0 +1,61 @@
+// Shared failure taxonomy and deterministic backoff shape.
+//
+// Two retry loops in this codebase face the same problem at different
+// scales: comm::ReliableChannel replays a lost message on the DES clock,
+// and the sweep runtime (src/sweep_engine) replays a failed scenario on
+// the wall clock.  Both classify failures the same way and back off with
+// the same truncated exponential, so the policy shape lives here --
+// header-only, no dependencies, usable from either layer without a link
+// edge.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace rr::fault {
+
+/// What a failure means for the work that hit it.
+///
+///   kTransient  -- environmental; the same work may succeed if retried
+///                  (lost ack, EINTR, a flaky resource).
+///   kPermanent  -- deterministic; retrying reproduces the failure
+///                  (bad parameters, a contract violation in the model).
+///   kPoison     -- the failure itself is suspect: an unknown foreign
+///                  throw whose blast radius is unclear.  Never retried;
+///                  quarantined so a human looks at it.
+enum class ErrorClass { kTransient, kPermanent, kPoison };
+
+constexpr const char* to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kPermanent: return "permanent";
+    case ErrorClass::kPoison: return "poison";
+  }
+  return "?";
+}
+
+constexpr std::optional<ErrorClass> error_class_from_string(
+    std::string_view s) {
+  if (s == "transient") return ErrorClass::kTransient;
+  if (s == "permanent") return ErrorClass::kPermanent;
+  if (s == "poison") return ErrorClass::kPoison;
+  return std::nullopt;
+}
+
+/// Truncated exponential backoff before retry `losses` (>= 1 after the
+/// first loss): initial * multiplier^(losses-1), clamped to `max`.  The
+/// iterative form (multiply, then clamp) is the contract: integer time
+/// types round per step, and comm::ReliableChannel's DES timelines are
+/// bit-exact against exactly this sequence.  Works for any D supporting
+/// D * double and ordering (Duration, double seconds, double microseconds).
+template <typename D>
+constexpr D backoff_after(D initial, double multiplier, D max, int losses) {
+  D b = initial;
+  for (int i = 1; i < losses; ++i) {
+    b = b * multiplier;
+    if (b >= max) return max;
+  }
+  return b >= max ? max : b;
+}
+
+}  // namespace rr::fault

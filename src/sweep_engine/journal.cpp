@@ -1,0 +1,224 @@
+#include "sweep_engine/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/expect.hpp"
+#include "util/fileio.hpp"
+
+namespace rr::engine {
+
+namespace {
+
+constexpr const char* kMagic = "rr-sweep";
+constexpr int kVersion = 1;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+[[noreturn]] void journal_fail(const std::string& path,
+                               const std::string& what) {
+  throw std::runtime_error("journal " + path + ": " + what);
+}
+
+}  // namespace
+
+const char* to_string(ScenarioStatus s) {
+  switch (s) {
+    case ScenarioStatus::kOk: return "ok";
+    case ScenarioStatus::kTimedOut: return "timed_out";
+    case ScenarioStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+std::optional<ScenarioStatus> scenario_status_from_string(std::string_view s) {
+  if (s == "ok") return ScenarioStatus::kOk;
+  if (s == "timed_out") return ScenarioStatus::kTimedOut;
+  if (s == "quarantined") return ScenarioStatus::kQuarantined;
+  return std::nullopt;
+}
+
+Json to_json(const JournalEntry& e) {
+  Json o = Json::object();
+  o.set("index", e.index)
+      .set("status", to_string(e.status))
+      .set("attempts", e.attempts)
+      // Decimal string: a 64-bit seed does not survive a double round trip.
+      .set("seed", std::to_string(e.seed));
+  if (e.ok()) {
+    o.set("metrics", e.metrics);
+  } else {
+    o.set("class", fault::to_string(e.error_class)).set("error", e.error);
+  }
+  return o;
+}
+
+JournalEntry journal_entry_from_json(const Json& j) {
+  JournalEntry e;
+  e.index = static_cast<int>(j.at("index").as_int());
+  const auto status = scenario_status_from_string(j.at("status").as_string());
+  if (!status)
+    throw JsonError("journal: unknown status '" + j.at("status").as_string() +
+                    "'");
+  e.status = *status;
+  e.attempts = static_cast<int>(j.at("attempts").as_int());
+  e.seed = parse_u64(j.at("seed").as_string());
+  if (e.ok()) {
+    e.metrics = j.at("metrics");
+  } else {
+    const auto cls = fault::error_class_from_string(j.at("class").as_string());
+    if (!cls)
+      throw JsonError("journal: unknown error class '" +
+                      j.at("class").as_string() + "'");
+    e.error_class = *cls;
+    e.error = j.at("error").as_string();
+  }
+  return e;
+}
+
+std::uint64_t campaign_hash(const Json& params) {
+  const std::string dump = params.dump();
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : dump) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+SweepJournal::SweepJournal(std::string path, const Json& params, int scenarios)
+    : path_(std::move(path)), scenarios_(scenarios) {
+  RR_EXPECTS(scenarios_ >= 0);
+  campaign_ = campaign_hash(params);
+  entries_.resize(static_cast<std::size_t>(scenarios_));
+
+  struct ::stat st{};
+  const bool exists = ::stat(path_.c_str(), &st) == 0 && st.st_size > 0;
+  if (exists) {
+    const JsonlData data = read_jsonl_file(path_);
+    if (data.records.empty()) {
+      // Only a torn header made it to disk: treat as a fresh journal.
+      tail_recovered_ = data.torn_tail;
+    } else {
+      const Json& header = data.records.front();
+      if (!header.is_object() || !header.find("journal") ||
+          header.at("journal").as_string() != kMagic)
+        journal_fail(path_, "not a sweep journal");
+      if (header.at("version").as_int() != kVersion)
+        journal_fail(path_, "unsupported version " +
+                                std::to_string(header.at("version").as_int()));
+      if (header.at("campaign").as_string() != hex64(campaign_))
+        journal_fail(path_,
+                     "campaign mismatch (journal " +
+                         header.at("campaign").as_string() + ", run " +
+                         hex64(campaign_) +
+                         "): refusing to resume with different parameters");
+      if (header.at("scenarios").as_int() != scenarios_)
+        journal_fail(path_, "scenario count mismatch");
+      for (std::size_t i = 1; i < data.records.size(); ++i) {
+        const JournalEntry e = journal_entry_from_json(data.records[i]);
+        if (e.index < 0 || e.index >= scenarios_)
+          journal_fail(path_, "entry index " + std::to_string(e.index) +
+                                  " out of range");
+        auto& slot = entries_[static_cast<std::size_t>(e.index)];
+        if (!slot) ++completed_;
+        slot = e;  // last record wins, though the protocol never duplicates
+      }
+      resumed_ = true;
+      tail_recovered_ = data.torn_tail;
+    }
+    if (tail_recovered_) {
+      // Truncate the torn tail so the next append starts on a clean line.
+      if (::truncate(path_.c_str(),
+                     static_cast<off_t>(data.clean_bytes)) != 0)
+        journal_fail(path_, std::string("cannot truncate torn tail: ") +
+                                std::strerror(errno));
+    }
+  }
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0)
+    journal_fail(path_, std::string("cannot open: ") + std::strerror(errno));
+
+  if (!resumed_) {
+    Json header = Json::object();
+    header.set("journal", kMagic)
+        .set("version", kVersion)
+        .set("campaign", hex64(campaign_))
+        .set("scenarios", scenarios_)
+        .set("params", params);
+    if (!append_line_fsync(fd_, header.dump()))
+      journal_fail(path_, "header write failed");
+  }
+
+  if (const char* env = std::getenv("RR_CRASH_AFTER_N"))
+    crash_after_ = std::atoi(env);
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SweepJournal::completed(int index) const {
+  std::lock_guard lock(mu_);
+  return index >= 0 && index < scenarios_ &&
+         entries_[static_cast<std::size_t>(index)].has_value();
+}
+
+std::size_t SweepJournal::completed_count() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::optional<JournalEntry> SweepJournal::entry(int index) const {
+  std::lock_guard lock(mu_);
+  if (index < 0 || index >= scenarios_) return std::nullopt;
+  return entries_[static_cast<std::size_t>(index)];
+}
+
+std::vector<JournalEntry> SweepJournal::entries() const {
+  std::lock_guard lock(mu_);
+  std::vector<JournalEntry> out;
+  out.reserve(completed_);
+  for (const auto& e : entries_)
+    if (e) out.push_back(*e);
+  return out;
+}
+
+void SweepJournal::append(const JournalEntry& e) {
+  std::lock_guard lock(mu_);
+  if (e.index < 0 || e.index >= scenarios_)
+    journal_fail(path_, "append index " + std::to_string(e.index) +
+                            " out of range");
+  if (entries_[static_cast<std::size_t>(e.index)])
+    journal_fail(path_,
+                 "index " + std::to_string(e.index) + " journaled twice");
+  if (!append_line_fsync(fd_, to_json(e).dump()))
+    journal_fail(path_, std::string("append failed: ") + std::strerror(errno));
+  entries_[static_cast<std::size_t>(e.index)] = e;
+  ++completed_;
+  ++appended_;
+  if (crash_after_ > 0 && appended_ >= crash_after_) {
+    // Record is durable (fsync above); die like a SIGKILL would, at a
+    // scenario boundary, with nothing flushed and no destructors run.
+    std::_Exit(kCrashExitCode);
+  }
+}
+
+}  // namespace rr::engine

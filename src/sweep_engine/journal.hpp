@@ -1,0 +1,121 @@
+// Write-ahead journal for sweep campaigns (see DESIGN.md §8).
+//
+// A campaign of n independent scenarios appends one fsync'd JSONL record
+// per *completed* scenario -- params hash, index, derived seed, status,
+// metrics -- so a run killed at any instant loses at most the scenario
+// that was in flight.  Reopening the same path with the same campaign
+// parameters resumes: already-journaled indices are served from the
+// journal (bit-exact, thanks to %.17g number round-tripping) and only the
+// missing ones are recomputed.  A torn final line -- the only damage an
+// interrupted append can do, since each record is a single O_APPEND
+// write(2) -- is detected on open and truncated away.
+//
+// File layout (one JSON object per line):
+//
+//   {"journal":"rr-sweep","version":1,"campaign":"<hex64>",
+//    "scenarios":N,"params":{...}}                          <- header
+//   {"index":3,"status":"ok","attempts":1,"seed":"123","metrics":{...}}
+//   {"index":0,"status":"quarantined","attempts":3,"seed":"45",
+//    "class":"transient","error":"..."}                     <- failures too
+//
+// The campaign id is a 64-bit FNV-1a hash of the compact params dump;
+// resuming with different parameters is refused rather than silently
+// mixing two campaigns in one file.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/taxonomy.hpp"
+#include "util/json.hpp"
+
+namespace rr::engine {
+
+/// Terminal state of one scenario within a campaign.
+enum class ScenarioStatus { kOk, kTimedOut, kQuarantined };
+
+const char* to_string(ScenarioStatus s);
+std::optional<ScenarioStatus> scenario_status_from_string(std::string_view s);
+
+/// One journaled scenario outcome.  `metrics` is the scenario's result
+/// object when status == kOk and null otherwise; `error`/`error_class`
+/// are meaningful only for failures.  Deliberately holds no wall-clock
+/// fields: journal bytes must be identical across reruns.
+struct JournalEntry {
+  int index = -1;
+  ScenarioStatus status = ScenarioStatus::kOk;
+  int attempts = 1;
+  std::uint64_t seed = 0;
+  fault::ErrorClass error_class = fault::ErrorClass::kPermanent;
+  std::string error;
+  Json metrics;
+
+  bool ok() const { return status == ScenarioStatus::kOk; }
+};
+
+Json to_json(const JournalEntry& e);
+JournalEntry journal_entry_from_json(const Json& j);
+
+/// 64-bit FNV-1a over the compact dump of `params`: the campaign identity.
+std::uint64_t campaign_hash(const Json& params);
+
+class SweepJournal {
+ public:
+  /// Create `path` (writing the header) or resume an existing journal.
+  /// Throws std::runtime_error on I/O failure, on a campaign/scenario
+  /// mismatch, or on mid-file corruption (torn tails are recovered, not
+  /// fatal).  Honors RR_CRASH_AFTER_N (see below).
+  SweepJournal(std::string path, const Json& params, int scenarios);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+  int scenarios() const { return scenarios_; }
+  std::uint64_t campaign() const { return campaign_; }
+  /// True when the file pre-existed with at least the header intact.
+  bool resumed() const { return resumed_; }
+  /// True when a torn final line was truncated away on open.
+  bool tail_recovered() const { return tail_recovered_; }
+
+  bool completed(int index) const;
+  std::size_t completed_count() const;
+  /// Entry for `index`, or nullopt if it has not been journaled.
+  std::optional<JournalEntry> entry(int index) const;
+  /// All journaled entries, in index order.
+  std::vector<JournalEntry> entries() const;
+
+  /// Durably append one completed scenario: a single write(2) of the
+  /// record line into the O_APPEND fd, then fdatasync.  Thread-safe.
+  /// Throws std::runtime_error on I/O failure or on an out-of-range /
+  /// duplicate index (the run protocol never journals an index twice).
+  void append(const JournalEntry& e);
+
+  /// Crash hook for kill-and-resume testing: after the Nth successful
+  /// append of this journal object (1-based), the process exits
+  /// immediately with kCrashExitCode -- no destructors, no flushes --
+  /// mimicking a SIGKILL at a scenario boundary.  Also armed by the
+  /// RR_CRASH_AFTER_N environment variable at construction.
+  void set_crash_after(int n) { crash_after_ = n; }
+  static constexpr int kCrashExitCode = 137;  // what a SIGKILLed child reports
+
+ private:
+  std::string path_;
+  int scenarios_ = 0;
+  std::uint64_t campaign_ = 0;
+  bool resumed_ = false;
+  bool tail_recovered_ = false;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::vector<std::optional<JournalEntry>> entries_;
+  std::size_t completed_ = 0;
+  int appended_ = 0;
+  int crash_after_ = -1;
+};
+
+}  // namespace rr::engine

@@ -1,7 +1,9 @@
 #include "sweep_engine/result_store.hpp"
 
-#include <fstream>
 #include <ostream>
+#include <sstream>
+
+#include "util/fileio.hpp"
 
 namespace rr::engine {
 
@@ -71,10 +73,41 @@ void ResultStore::write(std::ostream& os) const {
 }
 
 bool ResultStore::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
+  std::ostringstream out;
   write(out);
-  return static_cast<bool>(out);
+  return write_file_atomic(path, out.str());
+}
+
+std::vector<Json> ResultStore::read_file(const std::string& path,
+                                         bool* torn_tail) {
+  JsonlData data = read_jsonl_file(path);
+  if (torn_tail) *torn_tail = data.torn_tail;
+  return std::move(data.records);
+}
+
+fault::ResiliencePoint resilience_point_from_json(const Json& j) {
+  fault::ResiliencePoint pt;
+  pt.nodes = static_cast<int>(j.at("nodes").as_int());
+  pt.fault_free_s = j.at("fault_free_s").as_double();
+  pt.system_mtbf_h = j.at("system_mtbf_h").as_double();
+  pt.checkpoint_s = j.at("checkpoint_s").as_double();
+  pt.interval_s = j.at("interval_s").as_double();
+  pt.analytic_s = j.at("analytic_s").as_double();
+  pt.simulated_s = j.at("simulated_s").as_double();
+  pt.mean_failures = j.at("mean_failures").as_double();
+  pt.overhead_analytic = j.at("overhead_analytic").as_double();
+  pt.overhead_simulated = j.at("overhead_simulated").as_double();
+  pt.efficiency = j.at("efficiency").as_double();
+  return pt;
+}
+
+model::ScalePoint scale_point_from_json(const Json& j) {
+  model::ScalePoint pt;
+  pt.nodes = static_cast<int>(j.at("nodes").as_int());
+  pt.opteron_s = j.at("opteron_s").as_double();
+  pt.cell_measured_s = j.at("cell_measured_s").as_double();
+  pt.cell_best_s = j.at("cell_best_s").as_double();
+  return pt;
 }
 
 }  // namespace rr::engine

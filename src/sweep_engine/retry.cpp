@@ -1,0 +1,27 @@
+#include "sweep_engine/retry.hpp"
+
+namespace rr::engine {
+
+fault::ErrorClass classify(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const ScenarioError& s) {
+    return s.error_class();
+  } catch (const std::exception&) {
+    return fault::ErrorClass::kPermanent;
+  } catch (...) {
+    return fault::ErrorClass::kPoison;
+  }
+}
+
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "non-exception throw";
+  }
+}
+
+}  // namespace rr::engine

@@ -1,0 +1,80 @@
+// Error taxonomy and retry policy for sweep scenarios.
+//
+// A scenario that throws is classified (fault::ErrorClass) and handled by
+// kind: transient failures get a bounded number of retries with the same
+// deterministic truncated-exponential backoff shape comm::ReliableChannel
+// uses on the DES clock; permanent and poison failures are quarantined --
+// journaled with their class, seed, and message -- and the rest of the
+// batch continues.  A run-level failure budget turns "too many
+// quarantines" into a clean abort instead of a mostly-dead campaign.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "fault/taxonomy.hpp"
+
+namespace rr::engine {
+
+/// Base for scenario failures that declare their own class.  Anything
+/// else thrown by a scenario is classified by classify() below.
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(fault::ErrorClass c, const std::string& what)
+      : std::runtime_error(what), class_(c) {}
+
+  fault::ErrorClass error_class() const noexcept { return class_; }
+
+ private:
+  fault::ErrorClass class_;
+};
+
+/// Environmental failure; the same scenario may succeed on retry.
+class TransientError : public ScenarioError {
+ public:
+  explicit TransientError(const std::string& what)
+      : ScenarioError(fault::ErrorClass::kTransient, what) {}
+};
+
+/// Deterministic failure; retrying reproduces it.
+class PermanentError : public ScenarioError {
+ public:
+  explicit PermanentError(const std::string& what)
+      : ScenarioError(fault::ErrorClass::kPermanent, what) {}
+};
+
+/// Failure whose blast radius is unknown; never retried.
+class PoisonError : public ScenarioError {
+ public:
+  explicit PoisonError(const std::string& what)
+      : ScenarioError(fault::ErrorClass::kPoison, what) {}
+};
+
+/// Classify a captured scenario failure: a ScenarioError carries its own
+/// class; any other std::exception is permanent (these sweeps are
+/// deterministic -- rerunning the same seed reproduces the throw); a
+/// non-exception object is poison.
+fault::ErrorClass classify(const std::exception_ptr& e);
+
+/// Human-readable message for a captured failure.
+std::string describe(const std::exception_ptr& e);
+
+/// Bounded retry with deterministic backoff for transient failures.  The
+/// backoff sequence is fault::backoff_after -- the same truncated
+/// exponential comm::ReliableChannel replays on the DES clock -- so a
+/// given policy always produces the same waits in the same order.
+struct RetryPolicy {
+  int max_attempts = 3;  ///< total tries, including the first
+  double initial_backoff_us = 100.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_us = 10'000.0;
+
+  /// Wait before retry `losses` (>= 1 after the first failure), in us.
+  double backoff_after_us(int losses) const {
+    return fault::backoff_after(initial_backoff_us, backoff_multiplier,
+                                max_backoff_us, losses);
+  }
+};
+
+}  // namespace rr::engine

@@ -25,12 +25,14 @@ ThreadPool::~ThreadPool() {
 }
 
 std::vector<std::exception_ptr> ThreadPool::for_each_index(
-    int n, const std::function<void(int)>& fn) {
+    int n, const std::function<void(int)>& fn,
+    const std::atomic<bool>* abort) {
   RR_EXPECTS(n >= 0);
   if (n == 0) return {};
   auto batch = std::make_shared<Batch>();
   batch->fn = fn;
   batch->n = n;
+  batch->abort = abort;
   batch->errors.resize(static_cast<std::size_t>(n));
   {
     std::lock_guard lock(mu_);
@@ -68,6 +70,14 @@ void ThreadPool::worker_loop() {
     while (true) {
       const int i = batch->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch->n) break;
+      if (batch->abort && batch->abort->load(std::memory_order_acquire)) {
+        // Drain without running: the caller distinguishes "never ran"
+        // (BatchAborted) from a scenario's own failure.
+        batch->errors[static_cast<std::size_t>(i)] =
+            std::make_exception_ptr(BatchAborted());
+        ++completed;
+        continue;
+      }
       try {
         batch->fn(i);
       } catch (...) {

@@ -1,0 +1,109 @@
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rr {
+
+namespace {
+
+bool write_fully(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  // The temp file lives in the destination directory so the final
+  // rename() cannot cross filesystems (rename is only atomic within one).
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = write_fully(fd, content.data(), content.size());
+  ok = ok && ::fsync(fd) == 0;
+  ok = ::close(fd) == 0 && ok;
+  ok = ok && ::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+bool append_line_fsync(int fd, std::string_view line) {
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  // One write(2) for record + terminator: a crash mid-call leaves at most
+  // a prefix of this line at the end of the file, never interleaving.
+  if (!write_fully(fd, buf.data(), buf.size())) return false;
+  return ::fdatasync(fd) == 0;
+}
+
+JsonlData read_jsonl(std::string_view text) {
+  JsonlData out;
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string_view::npos;
+    const std::string_view line =
+        text.substr(pos, terminated ? nl - pos : std::string_view::npos);
+    ++lineno;
+    if (!terminated) {
+      // Unterminated final line: the classic torn append.
+      out.torn_tail = true;
+      out.tail = std::string(line);
+      out.clean_bytes = pos;
+      return out;
+    }
+    if (!line.empty()) {
+      try {
+        out.records.push_back(Json::parse(line));
+      } catch (const JsonError& e) {
+        if (nl + 1 >= text.size()) {
+          // Terminated but unparseable last line: a tear that happened to
+          // land after a '\n' already present in the torn record's bytes.
+          out.torn_tail = true;
+          out.tail = std::string(line);
+          out.clean_bytes = pos;
+          return out;
+        }
+        throw JsonError("jsonl line " + std::to_string(lineno) + ": " +
+                            e.what(),
+                        e.line(), e.column(), e.offset());
+      }
+    }
+    pos = nl + 1;
+    out.clean_bytes = pos;
+  }
+  return out;
+}
+
+JsonlData read_jsonl_file(const std::string& path) {
+  return read_jsonl(read_file(path));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) throw std::runtime_error("read failed for " + path);
+  return buf.str();
+}
+
+}  // namespace rr

@@ -1,0 +1,55 @@
+// Crash-safe file primitives for the result stores and the sweep journal.
+//
+// Two write disciplines cover every artifact this codebase persists:
+//
+//   * whole-file snapshots (result stores, golden files) are written to a
+//     temp file in the target directory, fsync'd, and rename()d over the
+//     destination -- a reader never observes a half-written file;
+//   * append-only logs (the sweep journal) append one '\n'-terminated
+//     record per write and fsync before acknowledging -- a crash can only
+//     tear the final line, which the reader recovers by truncation.
+//
+// read_jsonl() is the matching reader: it parses every complete line and
+// treats an unterminated or unparseable *last* line as a torn tail
+// (recovered, reported), while corruption anywhere earlier still throws.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace rr {
+
+/// Atomically replace `path` with `content` (temp file + fsync + rename
+/// within the same directory).  Returns false on any I/O failure; the
+/// previous file, if any, is untouched in that case.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
+/// Append `line` plus '\n' to `fd` as a single write(2), then fdatasync.
+/// Returns false on failure.  `line` must not contain '\n'.
+bool append_line_fsync(int fd, std::string_view line);
+
+struct JsonlData {
+  std::vector<Json> records;   ///< one per complete, parseable line
+  bool torn_tail = false;      ///< trailing partial line was recovered over
+  std::string tail;            ///< the recovered-over bytes, for diagnostics
+  std::size_t clean_bytes = 0; ///< offset where the clean prefix ends
+};
+
+/// Parse JSON-lines `text`.  Blank lines are skipped.  A final line that
+/// is unterminated or fails to parse is treated as a torn tail from an
+/// interrupted append: it is reported (torn_tail/tail) rather than thrown.
+/// A malformed line that is *not* last is real corruption and throws
+/// JsonError with the jsonl line number.
+JsonlData read_jsonl(std::string_view text);
+
+/// read_jsonl over a file's contents; throws std::runtime_error if the
+/// file cannot be read.
+JsonlData read_jsonl_file(const std::string& path);
+
+/// Entire file as a string; throws std::runtime_error on failure.
+std::string read_file(const std::string& path);
+
+}  // namespace rr

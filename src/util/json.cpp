@@ -60,12 +60,45 @@ class Parser {
   Json document() {
     Json v = value();
     skip_ws();
-    if (pos_ != text_.size()) fail("json: trailing characters at " + where());
+    if (pos_ != text_.size()) fail_here("trailing characters");
     return v;
   }
 
  private:
-  std::string where() const { return "offset " + std::to_string(pos_); }
+  // Parse failures report where and on what byte, so a corrupt journal
+  // line is diagnosable from the message alone.
+  [[noreturn]] void fail_at(const std::string& what, std::size_t pos) {
+    int line = 1;
+    int column = 1;
+    for (std::size_t i = 0; i < pos && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::string where = "line " + std::to_string(line) + ", column " +
+                        std::to_string(column) + " (offset " +
+                        std::to_string(pos);
+    if (pos >= text_.size()) {
+      where += ", end of input)";
+    } else {
+      const auto b = static_cast<unsigned char>(text_[pos]);
+      char hex[8];
+      std::snprintf(hex, sizeof hex, "0x%02x", b);
+      where += std::string(", byte ") + hex;
+      if (std::isprint(b)) {
+        where += " '";
+        where += static_cast<char>(b);
+        where += "'";
+      }
+      where += ")";
+    }
+    throw JsonError("json: " + what + " at " + where, line, column, pos);
+  }
+
+  [[noreturn]] void fail_here(const std::string& what) { fail_at(what, pos_); }
 
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -74,7 +107,7 @@ class Parser {
   }
 
   char peek() {
-    if (pos_ >= text_.size()) fail("json: unexpected end of input");
+    if (pos_ >= text_.size()) fail_here("unexpected end of input");
     return text_[pos_];
   }
 
@@ -87,13 +120,11 @@ class Parser {
   }
 
   void expect(char c) {
-    if (!consume(c))
-      fail(std::string("json: expected '") + c + "' at " + where());
+    if (!consume(c)) fail_here(std::string("expected '") + c + "'");
   }
 
   void expect_word(std::string_view w) {
-    if (text_.substr(pos_, w.size()) != w)
-      fail("json: bad literal at " + where());
+    if (text_.substr(pos_, w.size()) != w) fail_here("bad literal");
     pos_ += w.size();
   }
 
@@ -143,15 +174,16 @@ class Parser {
   }
 
   unsigned parse_hex4() {
-    if (pos_ + 4 > text_.size()) fail("json: bad \\u escape");
+    if (pos_ + 4 > text_.size()) fail_here("bad \\u escape");
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
-      const char h = text_[pos_++];
+      const char h = text_[pos_];
       code <<= 4;
       if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
       else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
       else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
-      else fail("json: bad \\u escape");
+      else fail_here("bad \\u escape");
+      ++pos_;
     }
     return code;
   }
@@ -182,14 +214,15 @@ class Parser {
               // combine into the supplementary code point.
               if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
                   text_[pos_ + 1] != 'u')
-                fail("json: unpaired surrogate in \\u escape");
+                fail_here("unpaired surrogate in \\u escape");
               pos_ += 2;
+              const std::size_t low_at = pos_;
               const unsigned low = parse_hex4();
               if (low < 0xdc00 || low > 0xdfff)
-                fail("json: unpaired surrogate in \\u escape");
+                fail_at("unpaired surrogate in \\u escape", low_at);
               code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
             } else if (code >= 0xdc00 && code <= 0xdfff) {
-              fail("json: unpaired surrogate in \\u escape");
+              fail_at("unpaired surrogate in \\u escape", pos_ - 4);
             }
             if (code < 0x80) {
               out += static_cast<char>(code);
@@ -208,7 +241,7 @@ class Parser {
             }
             break;
           }
-          default: fail("json: bad escape at " + where());
+          default: fail_at("bad escape", pos_ - 1);
         }
       } else {
         out += c;
@@ -229,7 +262,7 @@ class Parser {
     const auto [ptr, ec] =
         std::from_chars(text_.data() + start, text_.data() + pos_, v);
     if (ec != std::errc{} || ptr != text_.data() + pos_)
-      fail("json: bad number at offset " + std::to_string(start));
+      fail_at("bad number", start);
     return Json(v);
   }
 

@@ -20,10 +20,24 @@ namespace rr {
 
 class Json;
 
-/// Thrown on malformed input or wrong-kind access.
+/// Thrown on malformed input or wrong-kind access.  Parse errors carry
+/// the 1-based line/column and byte offset of the offending input (all 0
+/// for non-parse errors such as wrong-kind access), and the what() string
+/// names the offending byte -- enough to diagnose a corrupt journal line.
 class JsonError : public std::runtime_error {
  public:
-  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+  explicit JsonError(const std::string& what, int line = 0, int column = 0,
+                     std::size_t offset = 0)
+      : std::runtime_error(what), line_(line), column_(column), offset_(offset) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+  std::size_t offset() const { return offset_; }
+
+ private:
+  int line_ = 0;
+  int column_ = 0;
+  std::size_t offset_ = 0;
 };
 
 class Json {

@@ -10,6 +10,7 @@
 #include "fault/failure_model.hpp"
 #include "fault/injector.hpp"
 #include "fault/resilience_study.hpp"
+#include "fault/taxonomy.hpp"
 #include "io/io_model.hpp"
 #include "sim/interrupt.hpp"
 #include "topo/degraded.hpp"
@@ -531,6 +532,46 @@ TEST(ResilienceStudy, DeterministicTables) {
   EXPECT_EQ(a.simulated_s, b.simulated_s);
   EXPECT_EQ(a.mean_failures, b.mean_failures);
   EXPECT_EQ(a.interval_s, b.interval_s);
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy and the shared backoff shape
+// ---------------------------------------------------------------------------
+
+TEST(Taxonomy, ErrorClassStringsRoundTrip) {
+  for (const ErrorClass c :
+       {ErrorClass::kTransient, ErrorClass::kPermanent, ErrorClass::kPoison}) {
+    const auto back = error_class_from_string(to_string(c));
+    ASSERT_TRUE(back.has_value()) << to_string(c);
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(error_class_from_string("flaky").has_value());
+  EXPECT_FALSE(error_class_from_string("").has_value());
+}
+
+TEST(Taxonomy, BackoffIsTruncatedExponentialAndDeterministic) {
+  // 100, 200, 400, ... doubling per loss, clamped at the cap.
+  EXPECT_EQ(backoff_after(100.0, 2.0, 10'000.0, 1), 100.0);
+  EXPECT_EQ(backoff_after(100.0, 2.0, 10'000.0, 2), 200.0);
+  EXPECT_EQ(backoff_after(100.0, 2.0, 10'000.0, 5), 1'600.0);
+  EXPECT_EQ(backoff_after(100.0, 2.0, 10'000.0, 8), 10'000.0);  // clamped
+  EXPECT_EQ(backoff_after(100.0, 2.0, 10'000.0, 50), 10'000.0);
+  // Same inputs, same wait -- every time (the retry loop relies on it).
+  EXPECT_EQ(backoff_after(100.0, 2.0, 10'000.0, 7),
+            backoff_after(100.0, 2.0, 10'000.0, 7));
+}
+
+TEST(Taxonomy, BackoffMatchesReliableChannelTimeline) {
+  // The sweep retry policy replays the exact sequence ReliableChannel
+  // schedules on the DES clock: same template, bit-identical waits.
+  const comm::ReliableChannel ch{comm::ChannelModel(unit_latency_channel())};
+  const comm::RetryPolicy& rp = ch.policy();
+  for (int losses = 1; losses <= rp.max_attempts; ++losses)
+    EXPECT_EQ(ch.backoff_after(losses).ps(),
+              backoff_after(rp.initial_backoff, rp.backoff_multiplier,
+                            rp.max_backoff, losses)
+                  .ps())
+        << losses;
 }
 
 }  // namespace

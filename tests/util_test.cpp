@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <sstream>
 
 #include "util/cli.hpp"
+#include "util/fileio.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -227,6 +231,98 @@ TEST(Json, UnpairedSurrogatesAreRejected) {
                std::runtime_error);
   EXPECT_THROW(Json::parse(R"("\ud83d\u0041")"),            // high + BMP
                std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parse diagnostics: line, column, offset, offending byte
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParseErrorsReportLineColumnAndOffendingByte) {
+  // Missing ':' after the key on line 2 -- the error points at the '2'.
+  const std::string text = "{\"a\": 1,\n  \"b\" 2}";
+  try {
+    Json::parse(text);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 7);
+    ASSERT_LT(e.offset(), text.size());
+    EXPECT_EQ(text[e.offset()], '2');
+    EXPECT_NE(std::string(e.what()).find("line 2, column 7"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("'2'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, ParseErrorAtEndOfInputSaysSo) {
+  try {
+    Json::parse("[1, 2");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 6);
+    EXPECT_EQ(e.offset(), 5u);
+    EXPECT_NE(std::string(e.what()).find("end of input"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, NonParseErrorsCarryNoPosition) {
+  try {
+    Json::parse("[1]").as_string();  // wrong-kind access, not a parse error
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 0);
+    EXPECT_EQ(e.column(), 0);
+    EXPECT_EQ(e.offset(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe file primitives
+// ---------------------------------------------------------------------------
+
+TEST(FileIo, WriteFileAtomicCreatesAndReplaces) {
+  const std::string path = ::testing::TempDir() + "fileio-atomic." +
+                           std::to_string(::getpid());
+  std::remove(path.c_str());
+  ASSERT_TRUE(write_file_atomic(path, "first\n"));
+  EXPECT_EQ(read_file(path), "first\n");
+  ASSERT_TRUE(write_file_atomic(path, "second, longer than the first\n"));
+  EXPECT_EQ(read_file(path), "second, longer than the first\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ReadJsonlRecoversTornTail) {
+  // A crash mid-append leaves a partial final line; everything before it
+  // parses and the tail is reported, not thrown.
+  const auto torn = read_jsonl("{\"a\":1}\n{\"b\":2}\n{\"c\":");
+  ASSERT_EQ(torn.records.size(), 2u);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.tail, "{\"c\":");
+  EXPECT_EQ(torn.clean_bytes, std::string("{\"a\":1}\n{\"b\":2}\n").size());
+
+  // An unterminated-but-parseable last line is also treated as torn: the
+  // append discipline always terminates a durable record with '\n'.
+  const auto unterminated = read_jsonl("{\"a\":1}\n{\"b\":2}");
+  ASSERT_EQ(unterminated.records.size(), 1u);
+  EXPECT_TRUE(unterminated.torn_tail);
+
+  const auto clean = read_jsonl("{\"a\":1}\n\n{\"b\":2}\n");  // blank ok
+  EXPECT_EQ(clean.records.size(), 2u);
+  EXPECT_FALSE(clean.torn_tail);
+}
+
+TEST(FileIo, ReadJsonlThrowsOnMidFileCorruption) {
+  try {
+    read_jsonl("{\"a\":1}\nnot json at all\n{\"b\":2}\n");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("jsonl line 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace
