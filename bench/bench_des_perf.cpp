@@ -1,0 +1,271 @@
+// Machine-readable DES performance harness (not a paper figure): measures
+// the event-queue hot path that every paper-facing result flows through,
+// and writes BENCH_DES.json so the repo carries a perf trajectory.
+//
+// Workloads:
+//   * schedule-heavy  -- self-rescheduling event chains, no cancels
+//                        (pure heap + pool throughput), measured on both
+//                        the tombstone-heap Simulator and the legacy
+//                        linear-scan ReferenceSimulator;
+//   * cancel-heavy    -- 50% of events cancelled while pending, plus
+//                        cancel-after-fire churn on every prior batch
+//                        (the PR-3 watchdog/ReliableChannel pattern that
+//                        made the old cancel list grow without bound).
+//                        The reference engine runs a scaled-down batch
+//                        count (it is O(events x cancels)) and rates are
+//                        compared; the harness FAILS if the tombstone
+//                        heap is not >= 5x faster or its pool grows;
+//   * mailbox         -- coroutine producer/consumer ping through
+//                        sim::Mailbox (the task/mailbox interop path);
+//   * sweep3d-scale   -- end-to-end model::figure13_series scenarios/sec.
+//
+// Flags: --quick (CI smoke sizes), --out=BENCH_DES.json,
+//        --floor=path (fail if any events/sec falls >20% below the
+//        checked-in floor values).
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/sweep_model.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/cli.hpp"
+#include "util/fileio.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rr;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- schedule-heavy: `window` concurrent chains, each callback re-arms
+// itself until `total` events have been scheduled. ---
+template <typename Sim>
+struct ChainDriver {
+  Sim sim;
+  Rng rng{42};
+  std::uint64_t scheduled = 0;
+  std::uint64_t total = 0;
+
+  void arm() {
+    ++scheduled;
+    sim.schedule(
+        Duration::picoseconds(static_cast<std::int64_t>(rng.next_below(4096))),
+        [this] {
+          if (scheduled < total) arm();
+        });
+  }
+};
+
+template <typename Sim>
+double schedule_heavy_rate(std::uint64_t total, std::uint64_t window) {
+  ChainDriver<Sim> d;
+  d.total = total;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t w = 0; w < window && d.scheduled < total; ++w) d.arm();
+  d.sim.run();
+  const double s = seconds_since(t0);
+  return static_cast<double>(d.sim.events_run()) / s;
+}
+
+// --- cancel-heavy: per batch, schedule B events, cancel half of them
+// while pending, re-cancel the previous batch's survivors (all fired:
+// must be no-ops), then drain. ---
+struct CancelHeavyResult {
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  std::size_t pool_capacity_early = 0;
+  std::size_t pool_capacity_final = 0;
+};
+
+template <typename Sim>
+CancelHeavyResult cancel_heavy(std::uint64_t total, std::uint64_t batch) {
+  Sim sim;
+  Rng rng(7);
+  CancelHeavyResult r;
+  std::vector<std::uint64_t> ids, prev_survivors;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (r.events < total) {
+    ids.clear();
+    for (std::uint64_t b = 0; b < batch; ++b) {
+      ids.push_back(sim.schedule(
+          Duration::picoseconds(static_cast<std::int64_t>(rng.next_below(100'000))),
+          [] {}));
+      ++r.events;
+    }
+    for (std::uint64_t b = 0; b < batch; b += 2) sim.cancel(ids[b]);  // pending
+    for (const std::uint64_t id : prev_survivors) sim.cancel(id);  // after fire
+    sim.run();
+    prev_survivors.clear();
+    for (std::uint64_t b = 1; b < batch; b += 2) prev_survivors.push_back(ids[b]);
+    if constexpr (requires { sim.pool_capacity(); }) {
+      if (r.pool_capacity_early == 0) r.pool_capacity_early = sim.pool_capacity();
+      r.pool_capacity_final = sim.pool_capacity();
+    }
+  }
+  r.events_per_sec = static_cast<double>(r.events) / seconds_since(t0);
+  return r;
+}
+
+// --- mailbox: coroutine producer/consumer through sim::Mailbox. ---
+sim::Task<void> mb_producer(sim::Simulator& s, sim::Mailbox<int>& box, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim::Delay{s, Duration::nanoseconds(1)};
+    box.send(i);
+  }
+}
+
+sim::Task<void> mb_consumer(sim::Mailbox<int>& box, int n, std::uint64_t& sum) {
+  for (int i = 0; i < n; ++i) sum += static_cast<std::uint64_t>(co_await box.receive());
+}
+
+double mailbox_rate(int messages) {
+  sim::Simulator s;
+  sim::TaskRegistry reg(s);
+  sim::Mailbox<int> box(s);
+  std::uint64_t sum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  reg.spawn(mb_consumer(box, messages, sum));
+  reg.spawn(mb_producer(s, box, messages));
+  reg.drain();
+  const double rate = static_cast<double>(s.events_run()) / seconds_since(t0);
+  if (sum != static_cast<std::uint64_t>(messages) * (messages - 1) / 2) {
+    std::cerr << "mailbox checksum mismatch\n";
+    std::exit(1);
+  }
+  return rate;
+}
+
+// --- sweep3d-scale: end-to-end Fig. 13 series throughput. ---
+double sweep3d_rate(const std::vector<int>& counts, int reps, int* scenarios) {
+  const auto t0 = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto series = model::figure13_series(counts);
+    for (const auto& pt : series) sink += pt.cell_measured_s;
+  }
+  *scenarios = static_cast<int>(counts.size()) * reps;
+  const double rate = static_cast<double>(*scenarios) / seconds_since(t0);
+  if (!(sink > 0.0)) std::exit(1);  // keep the series from being elided
+  return rate;
+}
+
+bool check_floor(const Json& floor, const char* key, double measured,
+                 bool* ok) {
+  const Json* f = floor.find(key);
+  if (f == nullptr) return false;
+  const double min_allowed = f->as_double() * 0.8;  // >20% regression fails
+  if (measured < min_allowed) {
+    std::cerr << "FLOOR REGRESSION: " << key << " = " << measured << " < "
+              << min_allowed << " (floor " << f->as_double() << " - 20%)\n";
+    *ok = false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliParser cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::string out_path = cli.get("out", "BENCH_DES.json");
+
+  const std::uint64_t sched_total = quick ? 200'000 : 1'000'000;
+  const std::uint64_t cancel_total = quick ? 200'000 : 1'000'000;
+  // The reference engine is O(events x cancel-list) on this workload: a
+  // full-size run would take minutes, so its rate is measured at a
+  // smaller event count (the per-event rate only flatters it).
+  const std::uint64_t ref_cancel_total = quick ? 20'000 : 50'000;
+  const std::uint64_t batch = 1'000;
+  const int mailbox_msgs = quick ? 50'000 : 200'000;
+  std::vector<int> counts{1, 2, 4, 8, 16, 32, 64};
+  if (!quick) counts.insert(counts.end(), {128, 256, 512});
+
+  print_banner(std::cout, "DES event-queue performance (bench_des_perf)");
+
+  const double sched_new =
+      schedule_heavy_rate<sim::Simulator>(sched_total, 10'000);
+  const double sched_ref =
+      schedule_heavy_rate<sim::ReferenceSimulator>(sched_total, 10'000);
+  const auto cancel_new = cancel_heavy<sim::Simulator>(cancel_total, batch);
+  const auto cancel_ref =
+      cancel_heavy<sim::ReferenceSimulator>(ref_cancel_total, batch);
+  const double speedup = cancel_new.events_per_sec / cancel_ref.events_per_sec;
+  const double mailbox = mailbox_rate(mailbox_msgs);
+  int scenarios = 0;
+  const double sweep3d = sweep3d_rate(counts, quick ? 1 : 3, &scenarios);
+
+  Table t({"workload", "events", "events/sec", "vs legacy"});
+  t.row().add("schedule-heavy (tombstone heap)").add(sched_total).add(sched_new, 0)
+      .add(sched_new / sched_ref, 2);
+  t.row().add("schedule-heavy (legacy linear scan)").add(sched_total)
+      .add(sched_ref, 0).add(1.0, 2);
+  t.row().add("cancel-heavy 50% (tombstone heap)").add(cancel_new.events)
+      .add(cancel_new.events_per_sec, 0).add(speedup, 2);
+  t.row().add("cancel-heavy 50% (legacy linear scan)").add(cancel_ref.events)
+      .add(cancel_ref.events_per_sec, 0).add(1.0, 2);
+  t.row().add("coroutine mailbox ping").add(mailbox_msgs).add(mailbox, 0).add("-");
+  t.row().add("sweep3d scaling (scenarios/sec)").add(scenarios).add(sweep3d, 2)
+      .add("-");
+  t.print(std::cout);
+  std::cout << "cancel-heavy pool capacity: " << cancel_new.pool_capacity_early
+            << " after first batch, " << cancel_new.pool_capacity_final
+            << " at end (flat => pooled slots recycled)\n";
+
+  Json j = Json::object();
+  j.set("engine", sim::engine_name());
+  j.set("quick", quick);
+  j.set("schedule_heavy_events", sched_total);
+  j.set("schedule_heavy_events_per_sec", sched_new);
+  j.set("schedule_heavy_baseline_events_per_sec", sched_ref);
+  j.set("cancel_heavy_events", cancel_new.events);
+  j.set("cancel_heavy_events_per_sec", cancel_new.events_per_sec);
+  j.set("cancel_heavy_baseline_events", cancel_ref.events);
+  j.set("cancel_heavy_baseline_events_per_sec", cancel_ref.events_per_sec);
+  j.set("cancel_heavy_speedup", speedup);
+  j.set("cancel_heavy_pool_capacity_early", cancel_new.pool_capacity_early);
+  j.set("cancel_heavy_pool_capacity_final", cancel_new.pool_capacity_final);
+  j.set("mailbox_messages", mailbox_msgs);
+  j.set("mailbox_events_per_sec", mailbox);
+  j.set("sweep3d_scenarios", scenarios);
+  j.set("sweep3d_scenarios_per_sec", sweep3d);
+  if (!write_file_atomic(out_path, j.dump(2) + "\n")) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+
+  // Hard gates: the rebuild's acceptance criteria, enforced on every run.
+  bool ok = true;
+  if (speedup < 5.0) {
+    std::cerr << "FAIL: cancel-heavy speedup " << speedup << " < 5x\n";
+    ok = false;
+  }
+  // Flat memory: the pool must not grow once the first batch sized it.
+  if (cancel_new.pool_capacity_final > cancel_new.pool_capacity_early) {
+    std::cerr << "FAIL: cancel-heavy pool grew "
+              << cancel_new.pool_capacity_early << " -> "
+              << cancel_new.pool_capacity_final << "\n";
+    ok = false;
+  }
+  if (cli.has("floor")) {
+    const auto floor_text = read_file(cli.get("floor", ""));
+    const Json floor = Json::parse(floor_text);
+    check_floor(floor, "schedule_heavy_events_per_sec", sched_new, &ok);
+    check_floor(floor, "cancel_heavy_events_per_sec",
+                cancel_new.events_per_sec, &ok);
+    check_floor(floor, "mailbox_events_per_sec", mailbox, &ok);
+    check_floor(floor, "sweep3d_scenarios_per_sec", sweep3d, &ok);
+  }
+  return ok ? 0 : 2;
+}

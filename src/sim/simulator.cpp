@@ -5,6 +5,8 @@
 
 namespace rr::sim {
 
-const char* engine_name() { return "rr-des (integer-picosecond calendar queue)"; }
+const char* engine_name() {
+  return "rr-des (integer-picosecond indexed tombstone heap)";
+}
 
 }  // namespace rr::sim

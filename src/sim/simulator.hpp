@@ -1,20 +1,39 @@
 // Discrete-event simulation engine.
 //
-// The engine is a classic calendar queue: events are (time, sequence,
-// callback) triples ordered by time then by insertion sequence, so
-// same-time events fire in a deterministic FIFO order.  Simulated time is
-// integer picoseconds (rr::TimePoint), which makes runs bit-reproducible.
+// Events are (time, sequence, callback) triples ordered by time then by
+// insertion sequence, so same-time events fire in a deterministic FIFO
+// order.  Simulated time is integer picoseconds (rr::TimePoint), which
+// makes runs bit-reproducible.
+//
+// The queue is an indexed binary min-heap over a generational event pool:
+//   * heap entries are 24-byte (time, seq, slot) PODs -- the sort key is
+//     inline, so sift-up/down is branch-light sequential memory traffic
+//     and never moves a std::function; only the pool slot owns the
+//     callback;
+//   * slots are recycled through a free list, so steady-state
+//     schedule/fire cycles allocate nothing (small callbacks live in the
+//     std::function SBO of a reused slot);
+//   * cancel() is O(1): the event id encodes (generation, slot), a stale
+//     generation means the event already fired (or never existed) and the
+//     cancel is a true no-op.  A live cancel marks the slot a tombstone
+//     and drops the callback immediately; tombstones are swept lazily off
+//     the heap top, with a bulk compaction once they outnumber live
+//     events, so cancel-heavy workloads stay O(log n) per event with flat
+//     memory.
 //
 // Two programming styles are supported:
 //   * callback style: sim.schedule(delay, fn)
 //   * coroutine style (sim/task.hpp): co_await sim.delay(d), mailboxes, ...
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/trace.hpp"
 #include "util/expect.hpp"
 #include "util/units.hpp"
 
@@ -41,27 +60,64 @@ class Simulator {
   /// Schedule `fn` at absolute time `when` (must not be in the past).
   std::uint64_t schedule_at(TimePoint when, std::function<void()> fn) {
     RR_EXPECTS(when >= now_);
-    const std::uint64_t id = next_seq_++;
-    queue_.push(Event{when, id, std::move(fn)});
-    return id;
+    const std::uint32_t si = acquire_slot();
+    Slot& s = pool_[si];
+    s.cancelled = false;
+    s.fn = std::move(fn);
+    heap_push(HeapItem{when, next_seq_++, si});
+    ++scheduled_total_;
+    ++live_;
+    if (live_ > max_pending_) max_pending_ = live_;
+    if (trace_) trace_sample();
+    return make_id(s.generation, si);
   }
 
-  /// Cancel a pending event.  Safe to call for already-fired ids (no-op).
-  void cancel(std::uint64_t id) { cancelled_.push_back(id); }
+  /// Cancel a pending event in O(1).  Calling it for an id that already
+  /// fired, was already cancelled, or was never issued is a true no-op:
+  /// nothing is retained, so cancel-after-fire loops cannot grow state.
+  void cancel(std::uint64_t id) {
+    const std::uint32_t si = slot_of(id);
+    if (si >= pool_.size()) return;
+    Slot& s = pool_[si];
+    if (!s.in_use || s.generation != generation_of(id) || s.cancelled) return;
+    s.cancelled = true;
+    s.fn = nullptr;  // release captured state now, not at pop time
+    ++cancelled_total_;
+    ++tombstones_;
+    --live_;
+    // Lazy sweep: once tombstones dominate the heap, rebuild it without
+    // them (amortized O(1) per cancel) so memory stays flat even if the
+    // caller never steps the simulator again.
+    if (tombstones_ > live_ && heap_.size() > kCompactionFloor) compact();
+    if (trace_) trace_sample();
+  }
 
-  /// Run one event.  Returns false if the queue is empty.
+  /// Run one event.  Returns false if no live events remain (tombstones
+  /// encountered on the way are swept and counted in cancelled_run()).
   bool step() {
-    while (!queue_.empty()) {
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
-      if (is_cancelled(ev.seq)) continue;
-      RR_ASSERT(ev.at >= now_);
-      now_ = ev.at;
+    for (;;) {
+      if (heap_.empty()) return false;
+      const HeapItem top = heap_pop_top();
+      Slot& s = pool_[top.slot];
+      if (s.cancelled) {
+        ++cancelled_run_;
+        --tombstones_;
+        release_slot(top.slot);
+        continue;
+      }
+      RR_ASSERT(top.at >= now_);
+      now_ = top.at;
       ++events_run_;
-      ev.fn();
+      --live_;
+      std::function<void()> fn = std::move(s.fn);
+      // Release before running: the callback may schedule (growing the
+      // pool) and its own id must already read as fired so that a
+      // cancel from inside the callback is a no-op.
+      release_slot(top.slot);
+      if (trace_) trace_sample();
+      fn();
       return true;
     }
-    return false;
   }
 
   /// Run until the event queue drains.
@@ -71,46 +127,176 @@ class Simulator {
   }
 
   /// Run until simulated time would exceed `deadline`; events at exactly
-  /// `deadline` still fire.  Time is advanced to `deadline` on return if
-  /// the queue drained earlier.
+  /// `deadline` still fire.  Cancelled events are swept without advancing
+  /// time and never unlock events beyond the deadline.  Time is advanced
+  /// to `deadline` on return if the queue drained earlier.
   void run_until(TimePoint deadline) {
-    while (!queue_.empty() && queue_.top().at <= deadline) step();
+    while (true) {
+      sweep_tombstones_at_top();
+      if (heap_.empty() || heap_[0].at > deadline) break;
+      step();
+    }
     if (now_ < deadline) now_ = deadline;
   }
 
+  /// Callbacks actually executed (cancelled pops are never counted).
   std::uint64_t events_run() const { return events_run_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  /// Cancelled events disposed of (swept off the heap or compacted away).
+  std::uint64_t cancelled_run() const { return cancelled_run_; }
+
+  bool empty() const { return live_ == 0; }
+  /// Live (non-cancelled) pending events.
+  std::size_t pending() const { return live_; }
+
+  // --- queue statistics (bench/trace introspection) ---
+  std::uint64_t scheduled_total() const { return scheduled_total_; }
+  std::uint64_t cancelled_total() const { return cancelled_total_; }
+  /// Cancelled events still occupying heap slots (awaiting lazy sweep).
+  std::size_t tombstones() const { return tombstones_; }
+  /// High-water mark of live pending events.
+  std::size_t max_pending() const { return max_pending_; }
+  /// Event-pool capacity: bounded by the high-water mark of in-flight
+  /// events, independent of how many events ever ran.
+  std::size_t pool_capacity() const { return pool_.size(); }
+  std::size_t heap_size() const { return heap_.size(); }
+
+  /// Stream queue-depth/tombstone/cancelled-run counter samples into
+  /// `trace` (Chrome counter events on `track`) on every queue state
+  /// change.  Pass nullptr to detach.  The recorder must outlive the
+  /// simulator or a later detach.
+  void attach_trace(TraceRecorder* trace, std::string track = "sim.queue") {
+    trace_ = trace;
+    trace_track_ = std::move(track);
+    if (trace_) trace_sample();
+  }
 
  private:
-  struct Event {
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t generation = 1;  // 0 is never issued: cancel(0) is a no-op
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+    bool cancelled = false;
+  };
+
+  /// Heap entry: the full (time, seq) sort key lives inline so heap
+  /// maintenance never dereferences the pool.
+  struct HeapItem {
     TimePoint at;
     std::uint64_t seq = 0;
-    std::function<void()> fn;
+    std::uint32_t slot = 0;
   };
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+  static constexpr std::size_t kCompactionFloor = 64;
+
+  static std::uint64_t make_id(std::uint32_t generation, std::uint32_t slot) {
+    return (static_cast<std::uint64_t>(generation) << 32) | slot;
+  }
+  static std::uint32_t slot_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+  }
+  static std::uint32_t generation_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoFreeSlot) {
+      const std::uint32_t si = free_head_;
+      free_head_ = pool_[si].next_free;
+      pool_[si].in_use = true;
+      return si;
+    }
+    pool_.emplace_back();
+    pool_.back().in_use = true;
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+
+  void release_slot(std::uint32_t si) {
+    Slot& s = pool_[si];
+    ++s.generation;  // invalidates every outstanding id for this slot
+    s.in_use = false;
+    s.cancelled = false;
+    s.fn = nullptr;
+    s.next_free = free_head_;
+    free_head_ = si;
+  }
+
+  /// Earlier-fires-first ordering: (time, seq) lexicographic.
+  static bool before(const HeapItem& a, const HeapItem& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;  // FIFO among same-time events
+  }
+  /// std::*_heap comparator (max-heap under `later` == min-heap on before).
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;  // FIFO among same-time events
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return before(b, a);
     }
   };
 
-  bool is_cancelled(std::uint64_t id) {
-    for (std::size_t i = 0; i < cancelled_.size(); ++i) {
-      if (cancelled_[i] == id) {
-        cancelled_[i] = cancelled_.back();
-        cancelled_.pop_back();
-        return true;
+  void heap_push(HeapItem item) {
+    heap_.push_back(item);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Remove and return the heap top (must be non-empty).
+  HeapItem heap_pop_top() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const HeapItem top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+  /// Drop every tombstone and re-heapify the survivors in place.
+  void compact() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      const HeapItem item = heap_[i];
+      if (pool_[item.slot].cancelled) {
+        ++cancelled_run_;
+        --tombstones_;
+        release_slot(item.slot);
+      } else {
+        heap_[out++] = item;
       }
     }
-    return false;
+    heap_.resize(out);
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Pop tombstones sitting on the heap top (no time advance).
+  void sweep_tombstones_at_top() {
+    while (!heap_.empty() && pool_[heap_[0].slot].cancelled) {
+      const HeapItem top = heap_pop_top();
+      ++cancelled_run_;
+      --tombstones_;
+      release_slot(top.slot);
+    }
+  }
+
+  void trace_sample() {
+    trace_->counter("queue_depth", trace_track_, now_,
+                    static_cast<double>(live_));
+    trace_->counter("tombstones", trace_track_, now_,
+                    static_cast<double>(tombstones_));
+    trace_->counter("cancelled_run", trace_track_, now_,
+                    static_cast<double>(cancelled_run_));
   }
 
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;
+  std::uint64_t cancelled_run_ = 0;
+  std::uint64_t scheduled_total_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t max_pending_ = 0;
+  std::vector<Slot> pool_;
+  std::vector<HeapItem> heap_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  TraceRecorder* trace_ = nullptr;
+  std::string trace_track_;
 };
 
 }  // namespace rr::sim

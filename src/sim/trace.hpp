@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/units.hpp"
@@ -32,8 +33,17 @@ class TraceRecorder {
   /// Record an instantaneous event.
   void instant(std::string name, std::string track, TimePoint at);
 
-  /// Number of recorded spans + instants.
+  /// Record a counter sample (Chrome "C" event): the value of a named
+  /// metric at simulated time `at`.  Used by the Simulator to expose
+  /// queue-depth / tombstone / cancelled-run statistics over time.
+  void counter(std::string name, std::string track, TimePoint at, double value);
+
+  /// Number of recorded spans + instants + counter samples.
   std::size_t size() const { return events_.size(); }
+  /// Number of counter samples recorded (subset of size()).
+  std::size_t counter_samples() const;
+  /// Last recorded value of counter `name` on `track`, or NaN if none.
+  double last_counter(std::string_view name, std::string_view track) const;
   /// Number of spans still open.
   std::size_t open_spans() const;
 
@@ -44,12 +54,14 @@ class TraceRecorder {
   void clear() { events_.clear(); }
 
  private:
+  enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
   struct Event {
     std::string name;
     std::string track;
     std::int64_t start_ps = 0;
     std::int64_t end_ps = -1;  ///< -1: still open; start==end: instant
-    bool is_instant = false;
+    Kind kind = Kind::kSpan;
+    double value = 0.0;  ///< counter samples only
   };
   std::vector<Event> events_;
 };

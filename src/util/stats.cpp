@@ -32,8 +32,8 @@ Summary summarize(std::span<const double> xs) {
 }
 
 double percentile(std::span<const double> xs, double p) {
-  RR_EXPECTS(!xs.empty());
   RR_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return std::nan("");
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
   if (v.size() == 1) return v[0];

@@ -17,7 +17,9 @@ struct Summary {
 /// Summarize a sample.  Empty input yields an all-zero summary.
 Summary summarize(std::span<const double> xs);
 
-/// Linear-interpolated percentile, p in [0, 100].  Input need not be sorted.
+/// Linear-interpolated percentile, p in [0, 100].  Input need not be
+/// sorted.  Empty input yields a quiet NaN (mirroring summarize()'s
+/// total-function contract); a single element is returned for any p.
 double percentile(std::span<const double> xs, double p);
 
 /// Least-squares fit y = a + b*x; returns {a, b}.

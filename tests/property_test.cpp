@@ -13,6 +13,8 @@
 
 #include "comm/channel.hpp"
 #include "mem/cache.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
 #include "spu/pipeline.hpp"
 #include "sweep/solver.hpp"
 #include "sweep_engine/engine.hpp"
@@ -327,6 +329,81 @@ TEST(SolverProperties, SourceIncreaseRaisesFluxGloballyDespiteDdRinging) {
   EXPECT_GT(more_total, base_total);
   EXPECT_GT(more.scalar_flux[p.idx(3, 3, 3)], base.scalar_flux[p.idx(3, 3, 3)] * 1.5);
 }
+
+// ---------------------------------------------------------------------------
+// DES queue equivalence: the tombstone-heap Simulator must fire events in
+// exactly the order the legacy linear-scan ReferenceSimulator does, for
+// random interleavings of schedule / cancel / step (including events that
+// schedule children from their callbacks).
+// ---------------------------------------------------------------------------
+
+template <typename Sim>
+struct DesDriver {
+  Sim sim;
+  /// (now_ps, marker) per executed callback: the full firing trajectory.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> log;
+  std::vector<std::uint64_t> ids;  // engine-specific event id, by marker
+  std::uint64_t next_marker = 0;
+
+  void schedule_marked(Duration d, int depth) {
+    const std::uint64_t m = next_marker++;
+    const std::uint64_t id = sim.schedule(d, [this, m, depth] {
+      log.emplace_back(sim.now().ps(), m);
+      if (depth > 0) {
+        // Deterministic child delay derived from the marker, so both
+        // engines grow identical event trees from their callbacks.
+        schedule_marked(Duration::picoseconds((m * 7919 + 13) % 97), depth - 1);
+      }
+    });
+    ids.resize(static_cast<std::size_t>(next_marker));
+    ids[static_cast<std::size_t>(m)] = id;
+  }
+};
+
+class DesQueueEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DesQueueEquivalence, RandomInterleavingsFireIdentically) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b9ULL + 1);
+  DesDriver<sim::Simulator> heap;
+  DesDriver<sim::ReferenceSimulator> ref;
+  for (int op = 0; op < 3000; ++op) {
+    const double r = rng.next_double();
+    if (r < 0.50) {
+      // Small delay range so same-time ties are common (FIFO tiebreak).
+      const auto d = Duration::picoseconds(
+          static_cast<std::int64_t>(rng.next_below(64)));
+      const int depth = rng.next_double() < 0.3 ? 1 : 0;
+      heap.schedule_marked(d, depth);
+      ref.schedule_marked(d, depth);
+    } else if (r < 0.75 && heap.next_marker > 0) {
+      // Cancel any previously issued marker: pending, fired, or already
+      // cancelled -- every case must leave the two engines in agreement.
+      const auto m = static_cast<std::size_t>(rng.next_below(heap.next_marker));
+      if (m < heap.ids.size() && m < ref.ids.size()) {
+        heap.sim.cancel(heap.ids[m]);
+        ref.sim.cancel(ref.ids[m]);
+      }
+    } else {
+      heap.sim.step();
+      ref.sim.step();
+    }
+    ASSERT_EQ(heap.sim.now().ps(), ref.sim.now().ps()) << "op " << op;
+  }
+  while (heap.sim.step()) {
+  }
+  while (ref.sim.step()) {
+  }
+  EXPECT_EQ(heap.log, ref.log);  // bit-identical firing order and times
+  EXPECT_EQ(heap.sim.now().ps(), ref.sim.now().ps());
+  EXPECT_EQ(heap.sim.events_run(), ref.sim.events_run());
+  EXPECT_EQ(heap.sim.pending(), 0u);
+  EXPECT_EQ(heap.sim.tombstones(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesQueueEquivalence, ::testing::Range(1, 13),
+                         [](const auto& inf) {
+                           return "seed" + std::to_string(inf.param);
+                         });
 
 // ---------------------------------------------------------------------------
 // Sweep-engine thread-pool invariants (src/sweep_engine)

@@ -7,6 +7,7 @@
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "sim/trace.hpp"
 
 namespace rr::sim {
 namespace {
@@ -82,6 +83,131 @@ TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
   });
   sim.run();
   EXPECT_EQ(at.us(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation semantics (tombstone heap)
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorCancel, AfterFireIsTrueNoOpWithBoundedState) {
+  // Regression for the unbounded cancel-list bug: cancelling an id whose
+  // event already fired must retain nothing.  100k schedule->fire->cancel
+  // cycles must leave the queue empty and the pool at its 1-event
+  // high-water mark.
+  Simulator sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto id = sim.schedule(Duration::nanoseconds(1), [&] { ++fired; });
+    ASSERT_TRUE(sim.step());
+    sim.cancel(id);  // event already ran: must be a no-op
+  }
+  EXPECT_EQ(fired, 100'000u);
+  EXPECT_EQ(sim.events_run(), 100'000u);
+  EXPECT_EQ(sim.cancelled_run(), 0u);  // no-op cancels never become tombstones
+  EXPECT_EQ(sim.tombstones(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.heap_size(), 0u);
+  EXPECT_LE(sim.pool_capacity(), 2u);  // slots recycled, not accumulated
+  EXPECT_EQ(sim.max_pending(), 1u);
+}
+
+TEST(SimulatorCancel, UnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(0);                    // never issued (generation 0)
+  sim.cancel(0xdeadbeefdeadbeefULL);  // arbitrary garbage
+  bool fired = false;
+  sim.schedule(Duration::nanoseconds(5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);  // old engine would have poisoned a future seq
+  EXPECT_EQ(sim.cancelled_run(), 0u);
+}
+
+TEST(SimulatorCancel, DoubleCancelCountsOnce) {
+  Simulator sim;
+  const auto id = sim.schedule(Duration::nanoseconds(3), [] { FAIL(); });
+  sim.cancel(id);
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(sim.cancelled_total(), 1u);
+  EXPECT_EQ(sim.cancelled_run(), 1u);
+  EXPECT_EQ(sim.events_run(), 0u);
+}
+
+TEST(SimulatorCancel, CancelHeavyBacklogStaysFlat) {
+  // schedule+cancel without ever stepping: the lazy compaction must keep
+  // both the heap and the pool bounded instead of accreting 100k
+  // tombstones.
+  Simulator sim;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto id = sim.schedule(Duration::nanoseconds(i), [] {});
+    sim.cancel(id);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_LE(sim.heap_size(), 128u);
+  EXPECT_LE(sim.pool_capacity(), 128u);
+  EXPECT_EQ(sim.cancelled_total(), 100'000u);
+  EXPECT_EQ(sim.cancelled_run() + sim.tombstones(), 100'000u);
+  sim.run();  // sweeps the residual tombstones
+  EXPECT_EQ(sim.events_run(), 0u);
+  EXPECT_EQ(sim.cancelled_run(), 100'000u);
+}
+
+TEST(SimulatorCancel, SlotReuseDoesNotCrossCancel) {
+  // After an event fires its pool slot is recycled; cancelling the stale
+  // id must not kill the new occupant (generation check).
+  Simulator sim;
+  const auto old_id = sim.schedule(Duration::nanoseconds(1), [] {});
+  ASSERT_TRUE(sim.step());
+  bool fired = false;
+  sim.schedule(Duration::nanoseconds(1), [&] { fired = true; });
+  sim.cancel(old_id);  // stale generation: no-op
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorCancel, CancelOwnEventFromItsCallbackIsNoOp) {
+  Simulator sim;
+  std::uint64_t id = 0;
+  id = sim.schedule(Duration::nanoseconds(1), [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_EQ(sim.events_run(), 1u);
+  EXPECT_EQ(sim.cancelled_total(), 0u);
+}
+
+TEST(SimulatorCancel, RunUntilCountsCancelledPopsSeparately) {
+  Simulator sim;
+  int fired = 0;
+  const auto a = sim.schedule(Duration::nanoseconds(5), [&] { ++fired; });
+  sim.schedule(Duration::nanoseconds(15), [&] { ++fired; });
+  sim.cancel(a);
+  sim.run_until(TimePoint::origin() + Duration::nanoseconds(10));
+  // The cancelled pop at t=5 is swept without advancing time, is not an
+  // executed event, and must not unlock the t=15 event early.
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_run(), 0u);
+  EXPECT_EQ(sim.cancelled_run(), 1u);
+  EXPECT_EQ(sim.now().ps(), Duration::nanoseconds(10).ps());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_run(), 1u);
+}
+
+TEST(SimulatorCancel, TraceCountersSurfaceQueueStats) {
+  Simulator sim;
+  TraceRecorder trace;
+  sim.attach_trace(&trace, "des");
+  const auto a = sim.schedule(Duration::nanoseconds(1), [] {});
+  sim.schedule(Duration::nanoseconds(2), [] {});
+  EXPECT_EQ(trace.last_counter("queue_depth", "des"), 2.0);
+  sim.cancel(a);
+  EXPECT_EQ(trace.last_counter("tombstones", "des"), 1.0);
+  sim.run();
+  EXPECT_EQ(trace.last_counter("queue_depth", "des"), 0.0);
+  EXPECT_EQ(trace.last_counter("tombstones", "des"), 0.0);
+  EXPECT_EQ(trace.last_counter("cancelled_run", "des"), 1.0);
+  EXPECT_GT(trace.counter_samples(), 0u);
+  sim.attach_trace(nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "cml/cml.hpp"
@@ -43,6 +44,25 @@ TEST(TraceRecorder, JsonHasChromeTraceShape) {
   EXPECT_NE(json.find("\"dur\":3"), std::string::npos);      // 3 us
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceRecorder, CounterSamplesEmitChromeCounterEvents) {
+  TraceRecorder tr;
+  tr.counter("queue_depth", "des", TimePoint::from_ps(1'000'000), 3.0);
+  tr.counter("queue_depth", "des", TimePoint::from_ps(2'000'000), 5.0);
+  tr.counter("tombstones", "des", TimePoint::from_ps(2'000'000), 1.0);
+  EXPECT_EQ(tr.counter_samples(), 3u);
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.open_spans(), 0u);  // counters are not spans
+  EXPECT_DOUBLE_EQ(tr.last_counter("queue_depth", "des"), 5.0);
+  EXPECT_DOUBLE_EQ(tr.last_counter("tombstones", "des"), 1.0);
+  EXPECT_TRUE(std::isnan(tr.last_counter("missing", "des")));
+  std::ostringstream os;
+  tr.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"queue_depth\":5}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"tombstones\":1}"), std::string::npos);
 }
 
 TEST(TraceRecorder, EscapesQuotesInNames) {

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -133,6 +134,32 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, PercentileEmptyIsNaN) {
+  // Header contract: total function, empty input yields quiet NaN
+  // (matching summarize()'s all-zero empty behaviour) instead of
+  // crashing via RR_EXPECTS.
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 100.0)));
+}
+
+TEST(Stats, PercentileSingleElementIsThatElement) {
+  const double xs[] = {7.5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 37.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 7.5);
+}
+
+TEST(Stats, SummarySingleElement) {
+  const double xs[] = {42.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);  // n-1 denominator undefined: stays 0
 }
 
 TEST(Stats, LinearFitRecoversLine) {
