@@ -19,9 +19,15 @@
 //                        sim::Mailbox (the task/mailbox interop path);
 //   * sweep3d-scale   -- end-to-end model::figure13_series scenarios/sec.
 //
+// The schedule-heavy workload also runs an *instrumented* variant (one
+// obs::Counter increment per event, queue gauges snapshotted at the end)
+// and reports the metrics overhead; the instrumented rate is held to the
+// same checked-in floor, which is how CI enforces the "metrics cost < 5%
+// on the hot path" budget (the floor already allows 20% of noise).
+//
 // Flags: --quick (CI smoke sizes), --out=BENCH_DES.json,
 //        --floor=path (fail if any events/sec falls >20% below the
-//        checked-in floor values).
+//        checked-in floor values), --report=PATH (obs run report).
 #include <chrono>
 #include <cmath>
 #include <iostream>
@@ -29,6 +35,9 @@
 #include <vector>
 
 #include "model/sweep_model.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -75,6 +84,40 @@ double schedule_heavy_rate(std::uint64_t total, std::uint64_t window) {
   for (std::uint64_t w = 0; w < window && d.scheduled < total; ++w) d.arm();
   d.sim.run();
   const double s = seconds_since(t0);
+  return static_cast<double>(d.sim.events_run()) / s;
+}
+
+// Same chain workload with one relaxed counter increment per event --
+// the per-event cost a fully instrumented campaign pays -- plus the
+// queue gauges snapshotted once at the end.
+struct InstrumentedChainDriver {
+  sim::Simulator sim;
+  Rng rng{42};
+  std::uint64_t scheduled = 0;
+  std::uint64_t total = 0;
+  obs::Counter* events = nullptr;
+
+  void arm() {
+    ++scheduled;
+    sim.schedule(
+        Duration::picoseconds(static_cast<std::int64_t>(rng.next_below(4096))),
+        [this] {
+          events->inc();
+          if (scheduled < total) arm();
+        });
+  }
+};
+
+double schedule_heavy_rate_instrumented(std::uint64_t total,
+                                        std::uint64_t window) {
+  InstrumentedChainDriver d;
+  d.total = total;
+  d.events = &obs::MetricsRegistry::global().counter("des.events");
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t w = 0; w < window && d.scheduled < total; ++w) d.arm();
+  d.sim.run();
+  const double s = seconds_since(t0);
+  obs::snapshot_simulator(d.sim, obs::MetricsRegistry::global(), "des", s);
   return static_cast<double>(d.sim.events_run()) / s;
 }
 
@@ -195,6 +238,9 @@ int main(int argc, char** argv) {
 
   const double sched_new =
       schedule_heavy_rate<sim::Simulator>(sched_total, 10'000);
+  const double sched_instr =
+      schedule_heavy_rate_instrumented(sched_total, 10'000);
+  const double overhead_pct = (1.0 - sched_instr / sched_new) * 100.0;
   const double sched_ref =
       schedule_heavy_rate<sim::ReferenceSimulator>(sched_total, 10'000);
   const auto cancel_new = cancel_heavy<sim::Simulator>(cancel_total, batch);
@@ -208,6 +254,8 @@ int main(int argc, char** argv) {
   Table t({"workload", "events", "events/sec", "vs legacy"});
   t.row().add("schedule-heavy (tombstone heap)").add(sched_total).add(sched_new, 0)
       .add(sched_new / sched_ref, 2);
+  t.row().add("schedule-heavy (with obs metrics)").add(sched_total)
+      .add(sched_instr, 0).add(sched_instr / sched_ref, 2);
   t.row().add("schedule-heavy (legacy linear scan)").add(sched_total)
       .add(sched_ref, 0).add(1.0, 2);
   t.row().add("cancel-heavy 50% (tombstone heap)").add(cancel_new.events)
@@ -220,13 +268,18 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "cancel-heavy pool capacity: " << cancel_new.pool_capacity_early
             << " after first batch, " << cancel_new.pool_capacity_final
-            << " at end (flat => pooled slots recycled)\n";
+            << " at end (flat => pooled slots recycled)\n"
+            << "metrics overhead on schedule-heavy: "
+            << format_double(overhead_pct, 1)
+            << "% (counter increment per event; budget < 5%, floor-gated)\n";
 
   Json j = Json::object();
   j.set("engine", sim::engine_name());
   j.set("quick", quick);
   j.set("schedule_heavy_events", sched_total);
   j.set("schedule_heavy_events_per_sec", sched_new);
+  j.set("schedule_heavy_instrumented_events_per_sec", sched_instr);
+  j.set("metrics_overhead_pct", overhead_pct);
   j.set("schedule_heavy_baseline_events_per_sec", sched_ref);
   j.set("cancel_heavy_events", cancel_new.events);
   j.set("cancel_heavy_events_per_sec", cancel_new.events_per_sec);
@@ -262,10 +315,33 @@ int main(int argc, char** argv) {
     const auto floor_text = read_file(cli.get("floor", ""));
     const Json floor = Json::parse(floor_text);
     check_floor(floor, "schedule_heavy_events_per_sec", sched_new, &ok);
+    // The instrumented variant must clear the *same* floor: metrics that
+    // cost more than the floor's 20% noise margin fail the smoke run.
+    check_floor(floor, "schedule_heavy_events_per_sec", sched_instr, &ok);
     check_floor(floor, "cancel_heavy_events_per_sec",
                 cancel_new.events_per_sec, &ok);
     check_floor(floor, "mailbox_events_per_sec", mailbox, &ok);
     check_floor(floor, "sweep3d_scenarios_per_sec", sweep3d, &ok);
+  }
+
+  if (const std::string rpath = cli.get("report", ""); !rpath.empty()) {
+    obs::RunInfo info;
+    info.name = "bench_des_perf";
+    info.params = Json::object();
+    info.params.set("quick", quick)
+        .set("schedule_heavy_events", sched_total)
+        .set("cancel_heavy_events", cancel_total)
+        .set("mailbox_messages", mailbox_msgs);
+    obs::RunReport rep(std::move(info));
+    rep.add_snapshot(obs::MetricsRegistry::global().snapshot());
+    rep.set_extra("bench", j);
+    rep.set_extra("floor_ok", ok);
+    if (rep.write(rpath)) {
+      std::cout << "wrote run report to " << rpath << "\n";
+    } else {
+      std::cerr << "cannot write " << rpath << "\n";
+      ok = false;
+    }
   }
   return ok ? 0 : 2;
 }

@@ -11,14 +11,30 @@
 // must reproduce the engine results bit for bit (also part of the exit
 // gate), resumes from an existing journal, and prints the quarantine
 // summary.
+//
+// Observability (DESIGN.md §10): pass --report=PATH to emit a run-report
+// JSON (+ Markdown sibling) carrying the campaign identity, provenance,
+// the full metrics snapshot, and percentile tables; pass --trace=PATH to
+// emit one Chrome/Perfetto trace holding both wall-clock profiling spans
+// (each bench phase) and simulated-time spans (a traced SimNetwork run).
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "arch/spec.hpp"
+#include "comm/network.hpp"
 #include "fault/resilience_study.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/report.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+#include "sweep_engine/journal.hpp"
 #include "sweep_engine/studies.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
@@ -58,12 +74,49 @@ bool bit_identical(const std::vector<rr::fault::ResiliencePoint>& a,
   return true;
 }
 
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// A short traced SimNetwork exchange: spans land on sim-time tracks
+// ("ib/node0", "pcie/node0.cell2", "eib") in the same recorder the wall
+// spans use, so the exported file demonstrates the unified timeline.
+void traced_network_demo(const rr::topo::Topology& topo,
+                         rr::sim::TraceRecorder& trace) {
+  using namespace rr;
+  sim::Simulator sim;
+  sim.attach_trace(&trace);
+  comm::SimNetwork net(sim, topo);
+  net.attach_trace(&trace);
+  sim::TaskRegistry reg(sim);
+  const int nodes = topo.node_count();
+  for (int i = 0; i < 4; ++i) {
+    reg.spawn(net.ib_transfer(0, 1 + i % (nodes - 1), DataSize::mib(1)));
+    reg.spawn(net.dacs_transfer(0, i % net.config().cells_per_node,
+                                DataSize::kib(64)));
+  }
+  reg.spawn(net.eib_transfer(DataSize::kib(16)));
+  reg.drain();
+  net.export_metrics(obs::MetricsRegistry::global());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rr;
   const arch::SystemSpec system = arch::make_roadrunner();
   const topo::Topology& topo = engine::SharedContext::instance().topology();
+
+  const CliParser cli(argc, argv);
+  const std::string report_path = cli.get("report", "");
+  const std::string trace_path = cli.get("trace", "");
+  sim::TraceRecorder trace;
+  if (!trace_path.empty()) obs::WallTrace::global().attach(&trace);
+  obs::Histogram& phase_us = obs::MetricsRegistry::global().histogram(
+      "bench.phase_us", obs::latency_bounds_us());
 
   // A 10-point interrupted-HPL sweep over large node counts, where the
   // fleet MTBF is short enough that the DES actually replays failures
@@ -87,20 +140,31 @@ int main(int argc, char** argv) {
                               " replications/point");
 
   std::vector<fault::ResiliencePoint> serial, one_thread, n_thread;
-  const double t_serial = time_s(
-      [&] { serial = fault::hpl_study(system, topo, node_counts, cfg); });
+  double t_serial = 0.0, t_one = 0.0, t_n = 0.0;
+  {
+    obs::ProfSpan span("phase/serial_loop", &phase_us);
+    t_serial = time_s(
+        [&] { serial = fault::hpl_study(system, topo, node_counts, cfg); });
+  }
 
   engine::SweepEngine eng1({1});
-  const double t_one = time_s([&] {
-    one_thread = engine::parallel_hpl_study(eng1, system, topo, node_counts, cfg);
-  });
+  {
+    obs::ProfSpan span("phase/engine_1_worker", &phase_us);
+    t_one = time_s([&] {
+      one_thread =
+          engine::parallel_hpl_study(eng1, system, topo, node_counts, cfg);
+    });
+  }
 
   engine::SweepEngine engN({n_threads});
   engine::ResultStore store;
-  const double t_n = time_s([&] {
-    n_thread = engine::parallel_hpl_study(engN, system, topo, node_counts, cfg,
-                                          &store);
-  });
+  {
+    obs::ProfSpan span("phase/engine_all_workers", &phase_us);
+    t_n = time_s([&] {
+      n_thread = engine::parallel_hpl_study(engN, system, topo, node_counts,
+                                            cfg, &store);
+    });
+  }
 
   Table t({"configuration", "threads", "wall (s)", "speedup vs serial"});
   t.row().add("legacy serial loop").add(1).add(t_serial, 3).add(1.0, 2);
@@ -132,9 +196,9 @@ int main(int argc, char** argv) {
                  "The determinism gate above is the binding check here.\n";
   }
 
-  const CliParser cli(argc, argv);
   bool resumable_ok = true;
   if (const std::string jpath = cli.get("journal", ""); !jpath.empty()) {
+    obs::ProfSpan span("phase/resilient_run", &phase_us);
     engine::SweepJournal journal(jpath,
                                  engine::hpl_campaign_params(node_counts, cfg),
                                  static_cast<int>(node_counts.size()));
@@ -161,5 +225,56 @@ int main(int argc, char** argv) {
     else
       std::cout << "\nfailed to write " << path << "\n";
   }
+
+  if (!trace_path.empty()) {
+    // Sim-time spans to sit beside the wall spans recorded above, then
+    // the final metric values as Chrome counter events on the wall axis.
+    traced_network_demo(topo, trace);
+    obs::export_counters(obs::MetricsRegistry::global().snapshot(), trace,
+                         obs::wall_now());
+    obs::WallTrace::global().attach(nullptr);
+    std::ofstream os(trace_path);
+    trace.write_json(os);
+    if (os) {
+      std::cout << "\nwrote " << trace.size() << " trace events to "
+                << trace_path << " (wall + sim timelines)\n";
+    } else {
+      std::cout << "\nfailed to write " << trace_path << "\n";
+      return 1;
+    }
+  }
+
+  if (!report_path.empty()) {
+    const Json params = engine::hpl_campaign_params(node_counts, cfg);
+    obs::RunInfo info;
+    info.name = "bench_sweep_engine";
+    info.campaign = hex64(engine::campaign_hash(params));
+    info.params = params;
+    info.threads = engN.threads();
+    obs::RunReport rep(std::move(info));
+    rep.add_snapshot(obs::MetricsRegistry::global().snapshot());
+    std::vector<double> simulated_s, analytic_s;
+    simulated_s.reserve(n_thread.size());
+    analytic_s.reserve(n_thread.size());
+    for (const auto& p : n_thread) {
+      simulated_s.push_back(p.simulated_s);
+      analytic_s.push_back(p.analytic_s);
+    }
+    rep.add_percentiles("scenario_simulated_s", simulated_s);
+    rep.add_percentiles("scenario_analytic_s", analytic_s);
+    rep.set_extra("serial_wall_s", t_serial);
+    rep.set_extra("engine_1_wall_s", t_one);
+    rep.set_extra("engine_n_wall_s", t_n);
+    rep.set_extra("speedup_vs_serial", t_serial / t_n);
+    rep.set_extra("bit_identical", serial_vs_one && one_vs_n && resumable_ok);
+    if (rep.write(report_path)) {
+      std::cout << "wrote run report to " << report_path << " and "
+                << obs::RunReport::markdown_path_for(report_path) << "\n";
+    } else {
+      std::cout << "failed to write " << report_path << "\n";
+      return 1;
+    }
+  }
+
   return (serial_vs_one && one_vs_n && resumable_ok) ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "comm/network.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/expect.hpp"
 
 namespace rr::comm {
@@ -22,6 +23,48 @@ SimNetwork::SimNetwork(sim::Simulator& sim, const topo::Topology& topo,
   pcie_.reserve(pcie_count);
   for (std::size_t i = 0; i < pcie_count; ++i)
     pcie_.push_back(std::make_unique<sim::Resource>(sim, 1));
+  hca_busy_.resize(hca_tx_.size());
+  pcie_busy_.resize(pcie_.size());
+}
+
+Duration SimNetwork::ib_busy(int node) const {
+  RR_EXPECTS(node >= 0 && node < topo_->node_count());
+  return hca_busy_[static_cast<std::size_t>(node)];
+}
+
+Duration SimNetwork::pcie_busy(int node, int cell) const {
+  RR_EXPECTS(node >= 0 && node < topo_->node_count());
+  RR_EXPECTS(cell >= 0 && cell < config_.cells_per_node);
+  return pcie_busy_[static_cast<std::size_t>(node) * config_.cells_per_node +
+                    cell];
+}
+
+void SimNetwork::export_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  const double now_ps = static_cast<double>(sim_->now().ps());
+  const auto utilization = [now_ps](Duration busy) {
+    return now_ps > 0.0 ? static_cast<double>(busy.ps()) / now_ps : 0.0;
+  };
+  for (std::size_t i = 0; i < hca_busy_.size(); ++i) {
+    if (hca_busy_[i] == Duration::zero()) continue;
+    reg.gauge(prefix + ".link.ib.node" + std::to_string(i) + ".utilization")
+        .set(utilization(hca_busy_[i]));
+  }
+  for (std::size_t i = 0; i < pcie_busy_.size(); ++i) {
+    if (pcie_busy_[i] == Duration::zero()) continue;
+    const std::size_t node =
+        i / static_cast<std::size_t>(config_.cells_per_node);
+    const std::size_t cell =
+        i % static_cast<std::size_t>(config_.cells_per_node);
+    reg.gauge(prefix + ".link.pcie.node" + std::to_string(node) + ".cell" +
+              std::to_string(cell) + ".utilization")
+        .set(utilization(pcie_busy_[i]));
+  }
+  if (eib_busy_ != Duration::zero())
+    reg.gauge(prefix + ".link.eib.utilization").set(utilization(eib_busy_));
+  reg.gauge(prefix + ".messages_sent")
+      .set(static_cast<double>(messages_sent_));
+  reg.gauge(prefix + ".bytes_sent").set(static_cast<double>(bytes_sent_));
 }
 
 Duration SimNetwork::eib_time(DataSize n) const { return eib_.one_way(n); }
@@ -40,6 +83,7 @@ sim::Task<void> SimNetwork::eib_transfer(DataSize n) {
   const auto span = trace_ ? trace_->begin("eib " + std::to_string(n.b()) + "B",
                                            "eib", sim_->now())
                            : sim::TraceRecorder::SpanId{};
+  eib_busy_ = eib_busy_ + eib_time(n);
   co_await sim::Delay{*sim_, eib_time(n)};
   if (trace_) trace_->end(span, sim_->now());
 }
@@ -58,6 +102,10 @@ sim::Task<void> SimNetwork::dacs_transfer(int node, int cell, DataSize n) {
                                  std::to_string(cell),
                              sim_->now())
              : sim::TraceRecorder::SpanId{};
+  pcie_busy_[static_cast<std::size_t>(node) * config_.cells_per_node + cell] =
+      pcie_busy_[static_cast<std::size_t>(node) * config_.cells_per_node +
+                 cell] +
+      dacs_time(n);
   co_await sim::Delay{*sim_, dacs_time(n)};
   if (trace_) trace_->end(span, sim_->now());
   link.release();
@@ -75,6 +123,9 @@ sim::Task<void> SimNetwork::ib_transfer(int src_node, int dst_node, DataSize n) 
                                            "ib/node" + std::to_string(src_node),
                                            sim_->now())
                            : sim::TraceRecorder::SpanId{};
+  hca_busy_[static_cast<std::size_t>(src_node)] =
+      hca_busy_[static_cast<std::size_t>(src_node)] +
+      ib_time(src_node, dst_node, n);
   co_await sim::Delay{*sim_, ib_time(src_node, dst_node, n)};
   if (trace_) trace_->end(span, sim_->now());
   hca.release();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/channel.hpp"
@@ -18,6 +19,10 @@
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "topo/topology.hpp"
+
+namespace rr::obs {
+class MetricsRegistry;
+}
 
 namespace rr::comm {
 
@@ -57,6 +62,18 @@ class SimNetwork {
   /// Pass nullptr to detach.  The recorder must outlive the network.
   void attach_trace(sim::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Simulated time each link spent serializing data so far.
+  Duration ib_busy(int node) const;
+  Duration pcie_busy(int node, int cell) const;
+  Duration eib_busy() const { return eib_busy_; }
+
+  /// Publish per-link utilization gauges (busy time / sim.now(), so 1.0 =
+  /// saturated since t=0) under `<prefix>.link.*`, plus message/byte
+  /// totals.  Only links that carried traffic get a gauge, keeping the
+  /// family bounded on big topologies.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "net") const;
+
  private:
   sim::Simulator* sim_;
   const topo::Topology* topo_;
@@ -67,6 +84,9 @@ class SimNetwork {
   FabricModel fabric_;
   std::vector<std::unique_ptr<sim::Resource>> hca_tx_;    // one per node
   std::vector<std::unique_ptr<sim::Resource>> pcie_;      // one per (node, cell)
+  std::vector<Duration> hca_busy_;    // serialization time per HCA
+  std::vector<Duration> pcie_busy_;   // per (node, cell) link
+  Duration eib_busy_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   sim::TraceRecorder* trace_ = nullptr;

@@ -3,9 +3,34 @@
 #include <algorithm>
 
 #include "fault/taxonomy.hpp"
+#include "obs/metrics.hpp"
 #include "util/expect.hpp"
 
 namespace rr::comm {
+
+namespace {
+
+// Retransmission taxonomy (DESIGN.md §10).  backoff_us records *simulated*
+// microseconds the sender spent backed off, not wall time -- the point is
+// how much of a campaign's virtual budget retransmission eats.
+struct ReliableMetrics {
+  obs::Counter& delivered;
+  obs::Counter& retransmits;
+  obs::Counter& gave_up;
+  obs::Histogram& backoff_us;
+
+  static ReliableMetrics& instance() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ReliableMetrics m{reg.counter("comm.delivered"),
+                             reg.counter("comm.retransmits"),
+                             reg.counter("comm.gave_up"),
+                             reg.histogram("comm.backoff_us",
+                                           obs::latency_bounds_us())};
+    return m;
+  }
+};
+
+}  // namespace
 
 void LinkState::set_up(TimePoint at, bool up) {
   RR_EXPECTS(log_.empty() || at >= log_.back().at);
@@ -64,6 +89,7 @@ void ReliableChannel::attempt(
   sim.schedule(flight, [this, &sim, &link, n, tries, backed_off, sent,
                         done = std::move(done)]() mutable {
     if (!link.down_during(sent, sim.now())) {
+      ReliableMetrics::instance().delivered.inc();
       done(DeliveryReport{true, tries, sim.now(), backed_off});
       return;
     }
@@ -71,10 +97,14 @@ void ReliableChannel::attempt(
     sim.schedule(policy_.ack_timeout, [this, &sim, &link, n, tries, backed_off,
                                        done = std::move(done)]() mutable {
       if (tries >= policy_.max_attempts) {
+        ReliableMetrics::instance().gave_up.inc();
         done(DeliveryReport{false, tries, sim.now(), backed_off});
         return;
       }
       const Duration wait = backoff_after(tries);
+      ReliableMetrics& rm = ReliableMetrics::instance();
+      rm.retransmits.inc();
+      rm.backoff_us.observe(wait.us());
       sim.schedule(wait, [this, &sim, &link, n, tries, backed_off, wait,
                           done = std::move(done)]() mutable {
         attempt(sim, link, n, tries + 1, backed_off + wait, std::move(done));

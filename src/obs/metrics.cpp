@@ -1,0 +1,264 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <thread>
+
+#include "util/expect.hpp"
+
+namespace rr::obs {
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  // One hash per thread, cached: the hot path is a thread_local read.
+  static thread_local const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+// --- Counter ---------------------------------------------------------------
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+void Gauge::set(double v) noexcept {
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+void Gauge::add(double v) noexcept {
+  std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::reset() noexcept { bits_.store(0, std::memory_order_relaxed); }
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), shards_(new Shard[kShards]) {
+  RR_EXPECTS(!bounds_.empty());
+  RR_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  RR_EXPECTS(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+             bounds_.end());  // strictly increasing
+  const std::size_t n = bounds_.size() + 1;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shards_[s].buckets.reset(new std::atomic<std::uint64_t>[n]);
+    for (std::size_t b = 0; b < n; ++b)
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double x) noexcept {
+  // Inclusive upper bounds: x lands in the first bucket with x <= bound;
+  // past the last bound it lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto b = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(s.sum, x);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s)
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (std::size_t s = 0; s < kShards; ++s)
+    total += shards_[s].sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < kShards; ++s)
+    for (std::size_t b = 0; b < out.size(); ++b)
+      out[b] += shards_[s].buckets[b].load(std::memory_order_relaxed);
+  return out;
+}
+
+namespace {
+
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::uint64_t>& buckets,
+                               double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return std::nan("");
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank in [1, total]; the target sample sits in the first bucket whose
+  // cumulative count reaches it.
+  const double rank = p / 100.0 * static_cast<double>(total - 1) + 1.0;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) + 1e-9 < rank) continue;
+    if (b == bounds.size()) return bounds.back();  // overflow: clamp
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(buckets[b]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.back();
+}
+
+}  // namespace
+
+double Histogram::percentile(double p) const {
+  return percentile_from_buckets(bounds_, bucket_counts(), p);
+}
+
+void Histogram::reset() noexcept {
+  const std::size_t n = bounds_.size() + 1;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < n; ++b)
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    shards_[s].count.store(0, std::memory_order_relaxed);
+    shards_[s].sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> latency_bounds_us() {
+  std::vector<double> out;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0)
+    for (const double step : {1.0, 2.0, 5.0}) out.push_back(decade * step);
+  return out;  // 1, 2, 5, 10, ..., 5e6 us
+}
+
+// --- Snapshot --------------------------------------------------------------
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricSnapshot* Snapshot::find(std::string_view name) const {
+  for (const auto& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+double histogram_percentile(const MetricSnapshot& h, double p) {
+  return percentile_from_buckets(h.bounds, h.buckets, p);
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = MetricKind::kCounter;
+    e.counter = std::unique_ptr<Counter>(new Counter());
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  RR_EXPECTS(it->second.kind == MetricKind::kCounter);
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = MetricKind::kGauge;
+    e.gauge = std::unique_ptr<Gauge>(new Gauge());
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  RR_EXPECTS(it->second.kind == MetricKind::kGauge);
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = MetricKind::kHistogram;
+    e.histogram = std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+    return *it->second.histogram;
+  }
+  RR_EXPECTS(it->second.kind == MetricKind::kHistogram);
+  RR_EXPECTS(it->second.histogram->bounds() == bounds);
+  return *it->second.histogram;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot out;
+  out.metrics.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {  // map order: already name-sorted
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter: m.ivalue = e.counter->value(); break;
+      case MetricKind::kGauge: m.value = e.gauge->value(); break;
+      case MetricKind::kHistogram:
+        m.count = e.histogram->count();
+        m.sum = e.histogram->sum();
+        m.bounds = e.histogram->bounds();
+        m.buckets = e.histogram->bucket_counts();
+        break;
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case MetricKind::kCounter: e.counter->reset(); break;
+      case MetricKind::kGauge: e.gauge->reset(); break;
+      case MetricKind::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return metrics_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace rr::obs

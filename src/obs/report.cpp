@@ -1,0 +1,132 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "util/fileio.hpp"
+#include "util/stats.hpp"
+
+namespace rr::obs {
+
+namespace {
+
+std::string git_sha() {
+  const char* sha = std::getenv("RR_GIT_SHA");
+  return sha && *sha ? sha : "unknown";
+}
+
+}  // namespace
+
+RunReport::RunReport(RunInfo info) : info_(std::move(info)) {}
+
+void RunReport::add_snapshot(const Snapshot& s) {
+  metrics_ = rr::obs::to_json(s);
+}
+
+void RunReport::add_percentiles(const std::string& name,
+                                std::span<const double> samples) {
+  const Summary s = summarize(samples);
+  Json o = Json::object();
+  o.set("count", static_cast<std::uint64_t>(s.count));
+  if (s.count > 0) {
+    o.set("min", s.min)
+        .set("p50", percentile(samples, 50.0))
+        .set("p90", percentile(samples, 90.0))
+        .set("p99", percentile(samples, 99.0))
+        .set("max", s.max)
+        .set("mean", s.mean);
+  }
+  percentiles_.set(name, std::move(o));
+}
+
+void RunReport::set_extra(const std::string& key, Json value) {
+  extra_.set(key, std::move(value));
+}
+
+Json RunReport::to_json() const {
+  Json provenance = Json::object();
+  provenance.set("git", git_sha())
+      .set("seed", info_.seed)
+      .set("threads", info_.threads);
+  Json o = Json::object();
+  o.set("report", "rr-run-report")
+      .set("version", 1)
+      .set("name", info_.name)
+      .set("campaign", info_.campaign)
+      .set("provenance", std::move(provenance))
+      .set("params", info_.params)
+      .set("metrics", metrics_)
+      .set("percentiles", percentiles_)
+      .set("extra", extra_);
+  return o;
+}
+
+std::string RunReport::to_markdown() const {
+  std::ostringstream os;
+  os << "# Run report: " << info_.name << "\n\n";
+  if (!info_.campaign.empty()) os << "Campaign `" << info_.campaign << "`, ";
+  os << "seed " << info_.seed << ", " << info_.threads << " thread(s), git `"
+     << git_sha() << "`.\n";
+
+  const auto& perc = percentiles_.as_object();
+  if (!perc.empty()) {
+    os << "\n## Percentiles\n\n"
+       << "| table | count | min | p50 | p90 | p99 | max | mean |\n"
+       << "|---|---|---|---|---|---|---|---|\n";
+    for (const auto& [name, t] : perc) {
+      os << "| " << name << " | " << t.at("count").as_int() << " | ";
+      if (t.at("count").as_int() == 0) {
+        os << "- | - | - | - | - | - |\n";
+        continue;
+      }
+      for (const char* k : {"min", "p50", "p90", "p99", "max", "mean"})
+        os << format_json_number(t.at(k).as_double()) << " | ";
+      os << "\n";
+    }
+  }
+
+  const auto& metrics = metrics_.as_object();
+  if (!metrics.empty()) {
+    os << "\n## Metrics\n\n| metric | kind | value |\n|---|---|---|\n";
+    for (const auto& [name, m] : metrics) {
+      const std::string& type = m.at("type").as_string();
+      os << "| " << name << " | " << type << " | ";
+      if (type == "histogram") {
+        os << "count " << m.at("count").as_int() << ", sum "
+           << format_json_number(m.at("sum").as_double());
+        if (const Json* p50 = m.find("p50"))
+          os << ", p50 " << format_json_number(p50->as_double()) << ", p99 "
+             << format_json_number(m.at("p99").as_double());
+      } else if (type == "counter") {
+        os << m.at("value").as_int();
+      } else {
+        os << format_json_number(m.at("value").as_double());
+      }
+      os << " |\n";
+    }
+  }
+
+  const auto& extra = extra_.as_object();
+  if (!extra.empty()) {
+    os << "\n## Extra\n\n";
+    for (const auto& [k, v] : extra) os << "- " << k << ": " << v.dump() << "\n";
+  }
+  return os.str();
+}
+
+std::string RunReport::markdown_path_for(const std::string& json_path) {
+  constexpr std::string_view kExt = ".json";
+  if (json_path.size() > kExt.size() &&
+      json_path.compare(json_path.size() - kExt.size(), kExt.size(), kExt) == 0)
+    return json_path.substr(0, json_path.size() - kExt.size()) + ".md";
+  return json_path + ".md";
+}
+
+bool RunReport::write(const std::string& json_path) const {
+  if (!write_file_atomic(json_path, to_json().dump(2) + "\n")) return false;
+  return write_file_atomic(markdown_path_for(json_path), to_markdown());
+}
+
+}  // namespace rr::obs

@@ -1,0 +1,68 @@
+// Per-campaign run reports (DESIGN.md §10): one JSON artifact + one
+// Markdown summary per instrumented run, replacing the ad-hoc JSON each
+// bench used to hand-roll.
+//
+// Schema (version 1):
+//   {"report":"rr-run-report","version":1,
+//    "name":"bench_sweep_engine","campaign":"<hex64>|""],
+//    "provenance":{"git":"<sha|unknown>","seed":"<decimal>","threads":N},
+//    "params":{...},             // campaign parameters, verbatim
+//    "metrics":{...},            // obs::to_json(snapshot)
+//    "percentiles":{"<table>":{"count":N,"min":..,"p50":..,"p90":..,
+//                              "p99":..,"max":..,"mean":..}, ...},
+//    "extra":{...}}              // bench-specific fields
+//
+// Wall-clock stamps are deliberately absent from the JSON body so that a
+// resumed campaign reproducing the same metrics produces a comparable
+// report; provenance.git comes from the RR_GIT_SHA environment variable
+// (CI exports it) and is "unknown" otherwise.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace rr::obs {
+
+struct RunInfo {
+  std::string name;               ///< campaign / bench identity
+  std::string campaign;           ///< hex64 campaign hash, "" if none
+  Json params = Json::object();   ///< campaign parameters
+  std::string seed = "0";         ///< base seed, decimal string
+  int threads = 0;
+};
+
+class RunReport {
+ public:
+  explicit RunReport(RunInfo info);
+
+  /// Embed a metrics snapshot (overwrites any previous one).
+  void add_snapshot(const Snapshot& s);
+
+  /// Add a named percentile table computed from raw samples via
+  /// util/stats (count/min/p50/p90/p99/max/mean).
+  void add_percentiles(const std::string& name, std::span<const double> samples);
+
+  /// Attach a bench-specific field under "extra".
+  void set_extra(const std::string& key, Json value);
+
+  Json to_json() const;
+  std::string to_markdown() const;
+
+  /// Atomically write `<json_path>` and its Markdown sibling (json_path
+  /// with a ".md" suffix replacing a trailing ".json", else appended).
+  /// Returns false on I/O failure.
+  bool write(const std::string& json_path) const;
+
+  static std::string markdown_path_for(const std::string& json_path);
+
+ private:
+  RunInfo info_;
+  Json metrics_ = Json::object();
+  Json percentiles_ = Json::object();
+  Json extra_ = Json::object();
+};
+
+}  // namespace rr::obs

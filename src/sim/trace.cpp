@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "util/expect.hpp"
+#include "util/json.hpp"
 
 namespace rr::sim {
 
@@ -57,17 +58,10 @@ double TraceRecorder::last_counter(std::string_view name,
   return std::nan("");
 }
 
-namespace {
-void json_escape(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
-}
-}  // namespace
-
 void TraceRecorder::write_json(std::ostream& os) const {
-  // Tracks map to (pid=1, tid=k) with thread_name metadata.
+  // Tracks map to (pid=1, tid=k) with thread_name metadata.  Names and
+  // track labels go through the shared util/json escaper so quotes,
+  // backslashes, and control characters yield valid Chrome-trace JSON.
   std::map<std::string, int> track_ids;
   for (const Event& ev : events_)
     track_ids.emplace(ev.track, static_cast<int>(track_ids.size()) + 1);
@@ -78,9 +72,9 @@ void TraceRecorder::write_json(std::ostream& os) const {
     if (!first) os << ",";
     first = false;
     os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-    json_escape(os, track);
-    os << "\"}}";
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_json_string(os, track);
+    os << "}}";
   }
   for (const Event& ev : events_) {
     const int tid = track_ids.at(ev.track);
@@ -89,25 +83,25 @@ void TraceRecorder::write_json(std::ostream& os) const {
     switch (ev.kind) {
       case Kind::kInstant:
         os << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << start_us
-           << ",\"s\":\"t\",\"name\":\"";
-        json_escape(os, ev.name);
-        os << "\"}";
+           << ",\"s\":\"t\",\"name\":";
+        write_json_string(os, ev.name);
+        os << "}";
         break;
       case Kind::kCounter:
         os << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << start_us
-           << ",\"name\":\"";
-        json_escape(os, ev.name);
-        os << "\",\"args\":{\"";
-        json_escape(os, ev.name);
-        os << "\":" << ev.value << "}}";
+           << ",\"name\":";
+        write_json_string(os, ev.name);
+        os << ",\"args\":{";
+        write_json_string(os, ev.name);
+        os << ":" << ev.value << "}}";
         break;
       case Kind::kSpan: {
         const std::int64_t end_ps = ev.end_ps == -1 ? ev.start_ps : ev.end_ps;
         const double dur_us = static_cast<double>(end_ps - ev.start_ps) * 1e-6;
         os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << start_us
-           << ",\"dur\":" << dur_us << ",\"name\":\"";
-        json_escape(os, ev.name);
-        os << "\"}";
+           << ",\"dur\":" << dur_us << ",\"name\":";
+        write_json_string(os, ev.name);
+        os << "}";
         break;
       }
     }

@@ -5,13 +5,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/expect.hpp"
 #include "util/fileio.hpp"
+#include "util/log.hpp"
 
 namespace rr::engine {
 
@@ -35,6 +38,24 @@ std::uint64_t parse_u64(const std::string& s) {
                                const std::string& what) {
   throw std::runtime_error("journal " + path + ": " + what);
 }
+
+// Journal instrumentation (DESIGN.md §10): fsync latency is the cost
+// every durable append pays, so it gets a histogram; resume hits are
+// credited by the resilient runner as it serves entries from here.
+struct JournalMetrics {
+  obs::Histogram& fsync_us;
+  obs::Counter& appends;
+  obs::Counter& torn_tails;
+
+  static JournalMetrics& instance() {
+    static JournalMetrics m{
+        obs::MetricsRegistry::global().histogram("journal.fsync_us",
+                                                 obs::latency_bounds_us()),
+        obs::MetricsRegistry::global().counter("journal.appends"),
+        obs::MetricsRegistry::global().counter("journal.torn_tails")};
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -149,7 +170,14 @@ SweepJournal::SweepJournal(std::string path, const Json& params, int scenarios)
                      static_cast<off_t>(data.clean_bytes)) != 0)
         journal_fail(path_, std::string("cannot truncate torn tail: ") +
                                 std::strerror(errno));
+      JournalMetrics::instance().torn_tails.inc();
+      RR_WARN("journal " << path_ << ": torn tail truncated at byte "
+                         << data.clean_bytes);
     }
+    if (resumed_)
+      RR_INFO("journal " << path_ << ": resumed campaign " << hex64(campaign_)
+                         << " with " << completed_ << "/" << scenarios_
+                         << " scenarios already journaled");
   }
 
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
@@ -209,8 +237,14 @@ void SweepJournal::append(const JournalEntry& e) {
   if (entries_[static_cast<std::size_t>(e.index)])
     journal_fail(path_,
                  "index " + std::to_string(e.index) + " journaled twice");
+  JournalMetrics& jm = JournalMetrics::instance();
+  const auto t0 = std::chrono::steady_clock::now();
   if (!append_line_fsync(fd_, to_json(e).dump()))
     journal_fail(path_, std::string("append failed: ") + std::strerror(errno));
+  jm.fsync_us.observe(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  jm.appends.inc();
   entries_[static_cast<std::size_t>(e.index)] = e;
   ++completed_;
   ++appended_;

@@ -7,8 +7,10 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/expect.hpp"
 #include "util/fileio.hpp"
+#include "util/log.hpp"
 
 namespace rr::engine {
 
@@ -21,6 +23,32 @@ std::int64_t now_ns() {
              SteadyClock::now().time_since_epoch())
       .count();
 }
+
+// Retry-taxonomy instrumentation (DESIGN.md §10): every terminal status
+// and every retry/backoff is counted, and entries served from a resumed
+// journal credit journal.resume_hits.
+struct SweepMetrics {
+  obs::Counter& ok;
+  obs::Counter& retries;
+  obs::Counter& timeouts;
+  obs::Counter& quarantined;
+  obs::Counter& budget_aborts;
+  obs::Counter& resume_hits;
+  obs::Histogram& backoff_us;
+
+  static SweepMetrics& instance() {
+    auto& reg = obs::MetricsRegistry::global();
+    static SweepMetrics m{reg.counter("sweep.ok"),
+                          reg.counter("sweep.retries"),
+                          reg.counter("sweep.timeouts"),
+                          reg.counter("sweep.quarantined"),
+                          reg.counter("sweep.budget_aborts"),
+                          reg.counter("journal.resume_hits"),
+                          reg.histogram("sweep.backoff_us",
+                                        obs::latency_bounds_us())};
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -62,6 +90,25 @@ void ResilientReport::print(std::ostream& os) const {
   os << "outcome: " << to_string(outcome) << " (exit " << exit_code() << ")\n";
 }
 
+void ResilientReport::log() const {
+  RR_INFO("sweep summary: " << entries.size() << " scenarios: " << ok
+                            << " ok (" << retried << " retried), " << timed_out
+                            << " timed out, " << quarantined << " quarantined, "
+                            << resumed << " resumed, " << not_run
+                            << " not run; outcome " << to_string(outcome));
+  for (const auto& e : entries) {
+    if (!e || e->ok()) continue;
+    RR_WARN(to_string(e->status)
+            << ": index " << e->index << " seed " << e->seed << " class "
+            << fault::to_string(e->error_class) << " after " << e->attempts
+            << (e->attempts == 1 ? " attempt" : " attempts") << ": "
+            << e->error);
+  }
+  if (outcome == RunOutcome::kBudgetExceeded)
+    RR_ERROR("sweep aborted: failure budget exceeded after "
+             << timed_out + quarantined << " failures");
+}
+
 ResilientReport run_resilient(SweepEngine& eng, int n,
                               const ResilientScenario& fn,
                               SweepJournal* journal,
@@ -84,11 +131,13 @@ ResilientReport run_resilient(SweepEngine& eng, int n,
   // one process's lifetime.
   std::atomic<int> failures{0};
   std::atomic<bool> abort{false};
+  SweepMetrics& sm = SweepMetrics::instance();
   if (journal) {
     for (int i = 0; i < n; ++i) {
       auto e = journal->entry(i);
       if (!e) continue;
       report.entries[static_cast<std::size_t>(i)] = std::move(e);
+      sm.resume_hits.inc();
       if (!report.entries[static_cast<std::size_t>(i)]->ok())
         failures.fetch_add(1, std::memory_order_relaxed);
     }
@@ -164,8 +213,11 @@ ResilientReport run_resilient(SweepEngine& eng, int n,
         if (cls == fault::ErrorClass::kTransient &&
             attempts < cfg.retry.max_attempts &&
             !abort.load(std::memory_order_acquire)) {
-          std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
-              cfg.retry.backoff_after_us(attempts)));
+          const double backoff_us = cfg.retry.backoff_after_us(attempts);
+          sm.retries.inc();
+          sm.backoff_us.observe(backoff_us);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::micro>(backoff_us));
           continue;
         }
         entry.status = ScenarioStatus::kQuarantined;
@@ -175,6 +227,11 @@ ResilientReport run_resilient(SweepEngine& eng, int n,
       }
     }
     entry.attempts = attempts;
+    switch (entry.status) {
+      case ScenarioStatus::kOk: sm.ok.inc(); break;
+      case ScenarioStatus::kTimedOut: sm.timeouts.inc(); break;
+      case ScenarioStatus::kQuarantined: sm.quarantined.inc(); break;
+    }
     finished[idx].store(true, std::memory_order_release);
 
     // Journal before publishing: once append() returns the record is
@@ -223,12 +280,15 @@ ResilientReport run_resilient(SweepEngine& eng, int n,
     }
   }
 
-  if (abort.load(std::memory_order_acquire) && budget_tripped())
+  if (abort.load(std::memory_order_acquire) && budget_tripped()) {
     report.outcome = RunOutcome::kBudgetExceeded;
-  else if (report.timed_out + report.quarantined > 0)
+    sm.budget_aborts.inc();
+  } else if (report.timed_out + report.quarantined > 0) {
     report.outcome = RunOutcome::kDegraded;
-  else
+  } else {
     report.outcome = RunOutcome::kClean;
+  }
+  report.log();
   return report;
 }
 

@@ -77,6 +77,12 @@ struct ResilientReport {
   /// Post-run summary: counts, plus one line per degraded scenario with
   /// its index, seed, class, and error -- degraded runs must be visible.
   void print(std::ostream& os) const;
+
+  /// The same summary through RR_LOG: counts at info, one warn line per
+  /// degraded scenario, error on a budget abort -- so quarantine and
+  /// degradation notices respect the log threshold and the RR_LOG_JSON
+  /// sink.  run_resilient() calls this on every completed run.
+  void log() const;
 };
 
 /// Run scenarios 0..n-1 under the resilience protocol.  `journal` may be

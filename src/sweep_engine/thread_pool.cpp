@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/expect.hpp"
 
 namespace rr::engine {
+
+namespace {
+
+// Pool instrumentation (DESIGN.md §10): one histogram sample per index
+// for queue wait and run time, a counter per index run.  All writes are
+// relaxed shard increments -- negligible next to a scenario's work.
+struct PoolMetrics {
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& scenario_us;
+  obs::Counter& indices_run;
+  obs::Counter& batches;
+
+  static PoolMetrics& instance() {
+    static PoolMetrics m{
+        obs::MetricsRegistry::global().histogram("pool.queue_wait_us",
+                                                 obs::latency_bounds_us()),
+        obs::MetricsRegistry::global().histogram("pool.scenario_us",
+                                                 obs::latency_bounds_us()),
+        obs::MetricsRegistry::global().counter("pool.indices_run"),
+        obs::MetricsRegistry::global().counter("pool.batches")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   RR_EXPECTS(threads >= 0);
@@ -34,6 +60,8 @@ std::vector<std::exception_ptr> ThreadPool::for_each_index(
   batch->n = n;
   batch->abort = abort;
   batch->errors.resize(static_cast<std::size_t>(n));
+  batch->submitted = std::chrono::steady_clock::now();
+  PoolMetrics::instance().batches.inc();
   {
     std::lock_guard lock(mu_);
     batch_ = batch;
@@ -78,6 +106,11 @@ void ThreadPool::worker_loop() {
         ++completed;
         continue;
       }
+      PoolMetrics& pm = PoolMetrics::instance();
+      const auto t0 = std::chrono::steady_clock::now();
+      pm.queue_wait_us.observe(
+          std::chrono::duration<double, std::micro>(t0 - batch->submitted)
+              .count());
       try {
         batch->fn(i);
       } catch (...) {
@@ -85,6 +118,10 @@ void ThreadPool::worker_loop() {
         // caller's read via the mutex-guarded done count below.
         batch->errors[static_cast<std::size_t>(i)] = std::current_exception();
       }
+      pm.scenario_us.observe(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+      pm.indices_run.inc();
       ++completed;
     }
     if (completed > 0) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -77,6 +78,9 @@ class ThreadPool {
     const std::atomic<bool>* abort = nullptr;  ///< optional caller-owned flag
     int done = 0;  ///< completed indices; guarded by the pool mutex
     std::vector<std::exception_ptr> errors;
+    /// Submission stamp: each index's queue wait (claim time minus this)
+    /// feeds the obs pool.queue_wait_us histogram.
+    std::chrono::steady_clock::time_point submitted;
   };
 
   void worker_loop();

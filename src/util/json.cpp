@@ -31,28 +31,6 @@ void require(bool ok, Json::Kind want, Json::Kind got) {
          kind_name(got));
 }
 
-void write_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -279,6 +257,28 @@ std::string format_json_number(double v) {
   return buf;
 }
 
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
 bool Json::as_bool() const {
   require(kind_ == Kind::kBool, Kind::kBool, kind_);
   return bool_;
@@ -368,7 +368,7 @@ void Json::write(std::ostream& os, int indent, int depth) const {
     case Kind::kNull: os << "null"; break;
     case Kind::kBool: os << (bool_ ? "true" : "false"); break;
     case Kind::kNumber: os << format_json_number(num_); break;
-    case Kind::kString: write_escaped(os, str_); break;
+    case Kind::kString: write_json_string(os, str_); break;
     case Kind::kArray: {
       os << '[';
       for (std::size_t i = 0; i < arr_.size(); ++i) {
@@ -385,7 +385,7 @@ void Json::write(std::ostream& os, int indent, int depth) const {
       for (std::size_t i = 0; i < obj_.size(); ++i) {
         if (i) os << ',';
         os << pad;
-        write_escaped(os, obj_[i].first);
+        write_json_string(os, obj_[i].first);
         os << sep;
         obj_[i].second.write(os, indent, depth + 1);
       }

@@ -108,4 +108,10 @@ class Json {
 /// %.17g formatting used for every JSON number (bit-exact round trip).
 std::string format_json_number(double v);
 
+/// Write `s` as a quoted JSON string literal, escaping quotes,
+/// backslashes, and control characters.  Shared by the Json writer and
+/// the Chrome-trace emitter (sim/trace), so every JSON artifact escapes
+/// identically.
+void write_json_string(std::ostream& os, std::string_view s);
+
 }  // namespace rr

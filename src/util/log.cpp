@@ -1,33 +1,127 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/json.hpp"
 
 namespace rr {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
+// The JSONL sink and its path are guarded by g_mu (cold path only: the
+// level check in RR_LOG already filtered).
+std::mutex g_mu;
+std::FILE* g_json = nullptr;
+std::string g_json_path;
+
+std::once_flag g_env_once;
+
+// Small stable per-thread ids beat hashed std::thread::id in log output.
+int thread_id() {
+  static std::atomic<int> next{0};
+  static thread_local const int id = next.fetch_add(1);
+  return id;
+}
+
+double unix_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void init_from_env_locked() {
+  if (const char* env = std::getenv("RR_LOG_LEVEL")) {
+    if (const auto level = log_level_from_string(env))
+      g_level.store(*level, std::memory_order_relaxed);
+  }
+  const char* json = std::getenv("RR_LOG_JSON");
+  const std::string path = json ? json : "";
+  if (path != g_json_path) {
+    if (g_json) std::fclose(g_json);
+    g_json = path.empty() ? nullptr : std::fopen(path.c_str(), "a");
+    g_json_path = g_json ? path : "";
+  }
+}
+
+void ensure_env_init() {
+  std::call_once(g_env_once, [] {
+    std::lock_guard lock(g_mu);
+    init_from_env_locked();
+  });
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
   switch (level) {
-    case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo: return "INFO";
-    case LogLevel::kWarn: return "WARN";
-    case LogLevel::kError: return "ERROR";
-    case LogLevel::kOff: return "OFF";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+std::optional<LogLevel> log_level_from_string(std::string_view s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off" || s == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  ensure_env_init();
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  ensure_env_init();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_json_path(const std::string& path) {
+  ensure_env_init();
+  std::lock_guard lock(g_mu);
+  if (g_json) std::fclose(g_json);
+  g_json = path.empty() ? nullptr : std::fopen(path.c_str(), "a");
+  g_json_path = g_json ? path : "";
+}
+
+void log_init_from_env() {
+  ensure_env_init();  // make sure the once-flag cannot fire after us
+  std::lock_guard lock(g_mu);
+  init_from_env_locked();
+}
 
 namespace detail {
+
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  ensure_env_init();
+  const int tid = thread_id();
+  std::lock_guard lock(g_mu);
+  std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
+  if (g_json) {
+    Json record = Json::object();
+    record.set("ts", unix_seconds())
+        .set("level", to_string(level))
+        .set("thread", tid)
+        .set("msg", msg);
+    const std::string line = record.dump();
+    std::fprintf(g_json, "%s\n", line.c_str());
+    std::fflush(g_json);
+  }
 }
+
 }  // namespace detail
 
 }  // namespace rr

@@ -23,6 +23,7 @@
 
 #include "fault/resilience_study.hpp"
 #include "model/sweep_model.hpp"
+#include "obs/metrics.hpp"
 #include "sweep_engine/result_store.hpp"
 #include "sweep_engine/studies.hpp"
 #include "util/fileio.hpp"
@@ -464,6 +465,46 @@ TEST(ResilientRun, TransientFailuresRetryToSuccess) {
   EXPECT_EQ(report.entries[2]->attempts, 3);  // two failures, then success
   EXPECT_EQ(report.outcome, engine::RunOutcome::kClean);
   EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(ResilientRun, MetricsCountRetriesAndOutcomes) {
+  // The resilient runner publishes its retry taxonomy to the global
+  // registry; counters are cumulative, so assert on deltas.
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t ok0 = reg.counter("sweep.ok").value();
+  const std::uint64_t retries0 = reg.counter("sweep.retries").value();
+  const std::uint64_t quarantined0 = reg.counter("sweep.quarantined").value();
+  const std::uint64_t indices0 = reg.counter("pool.indices_run").value();
+  auto& backoff = reg.histogram("sweep.backoff_us", obs::latency_bounds_us());
+  const std::uint64_t backoff0 = backoff.count();
+  const double backoff_sum0 = backoff.sum();
+
+  engine::SweepEngine eng({2});
+  engine::ResilientConfig rc;
+  rc.retry.max_attempts = 3;
+  rc.retry.initial_backoff_us = 10.0;
+  std::atomic<int> tries{0};
+  const auto report = engine::run_resilient(
+      eng, 5,
+      [&](int i, const engine::CancelToken&) {
+        if (i == 2 && tries.fetch_add(1, std::memory_order_acq_rel) < 2)
+          throw engine::TransientError("flaky");
+        if (i == 4) throw std::runtime_error("bad input");
+        return demo_metrics(i);
+      },
+      nullptr, rc);
+  EXPECT_EQ(report.ok, 4);
+  EXPECT_EQ(report.quarantined, 1);
+
+  EXPECT_EQ(reg.counter("sweep.ok").value() - ok0, 4u);
+  EXPECT_EQ(reg.counter("sweep.retries").value() - retries0, 2u);
+  EXPECT_EQ(reg.counter("sweep.quarantined").value() - quarantined0, 1u);
+  // Retries happen inside a single pool dispatch, so the pool sees
+  // exactly one run per scenario index.
+  EXPECT_EQ(reg.counter("pool.indices_run").value() - indices0, 5u);
+  // Every retry records its backoff (10us, then 20us doubled).
+  EXPECT_EQ(backoff.count() - backoff0, 2u);
+  EXPECT_GE(backoff.sum() - backoff_sum0, 10.0);
 }
 
 TEST(ResilientRun, PermanentAndPoisonFailuresAreQuarantinedNotRetried) {

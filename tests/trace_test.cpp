@@ -5,6 +5,7 @@
 
 #include "cml/cml.hpp"
 #include "sim/trace.hpp"
+#include "util/json.hpp"
 
 namespace rr::sim {
 namespace {
@@ -71,6 +72,26 @@ TEST(TraceRecorder, EscapesQuotesInNames) {
   std::ostringstream os;
   tr.write_json(os);
   EXPECT_NE(os.str().find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(TraceRecorder, EscapedOutputIsParseableJson) {
+  // Quotes, backslashes, and control characters in span/track/counter
+  // names must all come out as legal JSON (shared util/json escaper).
+  TraceRecorder tr;
+  const auto id =
+      tr.begin("span\nwith\tctl\x01", "track\\\"q", TimePoint::from_ps(0));
+  tr.end(id, TimePoint::from_ps(1000));
+  tr.instant("bell\x07", "track\\\"q", TimePoint::from_ps(500));
+  tr.counter("depth\x02", "track\\\"q", TimePoint::from_ps(600), 4.0);
+  std::ostringstream os;
+  tr.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
+  const Json parsed = Json::parse(json);  // throws if any escape is broken
+  EXPECT_EQ(parsed.at("traceEvents").size(), 4u);  // meta + span+instant+ctr
 }
 
 TEST(TraceRecorder, CmlRunProducesLinkSpans) {

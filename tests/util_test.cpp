@@ -5,10 +5,13 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/fileio.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -350,6 +353,64 @@ TEST(FileIo, ReadJsonlThrowsOnMidFileCorruption) {
     EXPECT_NE(std::string(e.what()).find("jsonl line 2"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  for (const LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError, LogLevel::kOff})
+    EXPECT_EQ(log_level_from_string(to_string(l)), l);
+  EXPECT_EQ(log_level_from_string("warning"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_string("none"), LogLevel::kOff);
+  EXPECT_EQ(log_level_from_string("bogus"), std::nullopt);
+}
+
+TEST(Log, ThresholdFiltersAndJsonSinkRecordsFields) {
+  const std::string path = ::testing::TempDir() + "log-jsonl." +
+                           std::to_string(::getpid());
+  std::remove(path.c_str());
+  const LogLevel saved = log_level();
+  set_log_json_path(path);
+  set_log_level(LogLevel::kInfo);
+  RR_DEBUG("dropped " << 1);          // below threshold: no record
+  RR_INFO("kept " << 42 << " \"q\"");  // quotes must survive the sink
+  RR_WARN("warned");
+  set_log_level(saved);
+  set_log_json_path("");
+
+  const JsonlData data = read_jsonl(read_file(path));
+  ASSERT_EQ(data.records.size(), 2u);
+  EXPECT_FALSE(data.torn_tail);
+  const Json& info = data.records[0];
+  EXPECT_EQ(info.at("level").as_string(), "info");
+  EXPECT_EQ(info.at("msg").as_string(), "kept 42 \"q\"");
+  EXPECT_GT(info.at("ts").as_double(), 0.0);
+  EXPECT_GE(info.at("thread").as_int(), 0);
+  EXPECT_EQ(data.records[1].at("level").as_string(), "warn");
+  std::remove(path.c_str());
+}
+
+TEST(Log, ConcurrentEmitsProduceWholeJsonlLines) {
+  const std::string path = ::testing::TempDir() + "log-mt." +
+                           std::to_string(::getpid());
+  std::remove(path.c_str());
+  const LogLevel saved = log_level();
+  set_log_json_path(path);
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kEach; ++i) RR_INFO("t" << t << " msg " << i);
+    });
+  for (auto& t : threads) t.join();
+  set_log_level(saved);
+  set_log_json_path("");
+
+  const JsonlData data = read_jsonl(read_file(path));
+  EXPECT_EQ(data.records.size(), static_cast<std::size_t>(kThreads) * kEach);
+  EXPECT_FALSE(data.torn_tail);
+  std::remove(path.c_str());
 }
 
 }  // namespace
