@@ -1,0 +1,174 @@
+// Driver for the sharded campaign service (DESIGN.md §11; not a paper
+// figure).  Runs a Monte-Carlo interrupted-HPL campaign through
+// campaign::run_campaign -- coordinator + N forked workers, per-shard
+// journals, work-stealing, crash respawn, and the content-addressed
+// result cache -- and exits with the fault::ExitCode of the outcome
+// (0 clean / 3 degraded / 4 failure-budget-exceeded).
+//
+// CI drives it three ways (see .github/workflows/ci.yml, campaign-smoke):
+//   * N workers with --crash-shard armed: one worker dies mid-shard via
+//     the journal crash hook, is respawned, and the merged result must be
+//     byte-identical to a 1-worker run of the same campaign;
+//   * a repeat invocation with --cache-dir: served entirely from the
+//     cache ("cache=hit ..."), bytes verbatim;
+//   * the same campaign under --workers=0 (in-process, sanitizer-safe).
+//
+//   bench_campaign_service --work-dir=PATH [--cache-dir=PATH]
+//       [--workers=3] [--scenarios=24] [--replications=400] [--seed=42]
+//       [--chunk=4] [--threads-per-worker=1] [--budget=-1]
+//       [--deadline-ms=0] [--slow-ms=0] [--slow-first=-1]
+//       [--crash-shard=-1] [--crash-after=0] [--out=PATH] [--report=PATH]
+//
+// --slow-ms pads every scenario; --slow-first=K restricts the padding to
+// scenarios with index < K, which piles the work onto the first shard and
+// exercises work-stealing (the padding does not change the results --
+// scenario metrics depend only on the seed).
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "campaign/service.hpp"
+#include "fault/resilience_study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "fault/taxonomy.hpp"
+#include "sweep_engine/context.hpp"
+#include "sweep_engine/studies.hpp"
+#include "util/cli.hpp"
+#include "util/fileio.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rr;
+  const CliParser cli(argc, argv);
+  const std::string work_dir = cli.get("work-dir", "");
+  if (work_dir.empty()) {
+    std::cerr << "usage: " << cli.program()
+              << " --work-dir=PATH [--cache-dir=PATH] [--workers=N]"
+                 " [--scenarios=N] [--replications=N] [--seed=N] [--chunk=N]"
+                 " [--threads-per-worker=N] [--budget=N] [--deadline-ms=N]"
+                 " [--slow-ms=N] [--slow-first=K] [--crash-shard=K]"
+                 " [--crash-after=N] [--out=PATH] [--report=PATH]\n";
+    return fault::to_int(fault::ExitCode::kUsage);
+  }
+
+  const int scenarios = static_cast<int>(cli.get_int("scenarios", 24));
+  const int replications = static_cast<int>(cli.get_int("replications", 400));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto slow = std::chrono::milliseconds(cli.get_int("slow-ms", 0));
+  const int slow_first = static_cast<int>(cli.get_int("slow-first", -1));
+
+  // The node grid the scenarios cycle through: partition sizes from the
+  // paper's scaling studies.
+  const std::vector<int> grid = {256,  512,  768,  1020, 1536,
+                                 2040, 2304, 2610, 3060};
+
+  campaign::CampaignSpec spec;
+  spec.name = "bench_campaign_service";
+  spec.scenarios = scenarios;
+  spec.base_seed = seed;
+  spec.params = Json::object();
+  spec.params.set("study", "interrupted-hpl-campaign")
+      .set("scenarios", scenarios)
+      .set("replications", replications)
+      .set("seed", static_cast<std::int64_t>(seed))
+      .set("nodes",
+           [&] {
+             Json a = Json::array();
+             for (const int nodes : grid) a.push_back(nodes);
+             return a;
+           }());
+
+  campaign::ServiceConfig cfg;
+  cfg.workers = static_cast<int>(cli.get_int("workers", 3));
+  cfg.threads_per_worker =
+      static_cast<int>(cli.get_int("threads-per-worker", 1));
+  cfg.chunk = static_cast<int>(cli.get_int("chunk", 4));
+  cfg.work_dir = work_dir;
+  cfg.cache_dir = cli.get("cache-dir", "");
+  cfg.resilient.failure_budget = static_cast<int>(cli.get_int("budget", -1));
+  cfg.resilient.deadline =
+      std::chrono::milliseconds(cli.get_int("deadline-ms", 0));
+  cfg.crash_shard = static_cast<int>(cli.get_int("crash-shard", -1));
+  cfg.crash_after = static_cast<int>(cli.get_int("crash-after", 0));
+
+  const auto& ctx = engine::SharedContext::instance();
+  const campaign::CampaignResult result = campaign::run_campaign(
+      spec,
+      [&](int i, const engine::CancelToken& cancel) {
+        const auto pad =
+            (slow_first < 0 || i < slow_first) ? slow
+                                               : std::chrono::milliseconds(0);
+        for (auto waited = std::chrono::milliseconds(0); waited < pad;
+             waited += std::chrono::milliseconds(5)) {
+          if (cancel.cancelled())
+            throw engine::TransientError("cancelled during padding");
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        const int nodes = grid[static_cast<std::size_t>(i) % grid.size()];
+        fault::StudyConfig scfg;
+        scfg.replications = replications;
+        scfg.seed = fault::study_point_seed(seed, nodes, i);
+        return engine::to_json(fault::study_point(
+            ctx.system(), ctx.topology(), nodes,
+            fault::hpl_fault_free_s(ctx.system(), nodes), scfg));
+      },
+      cfg);
+
+  print_banner(std::cout, "Sharded campaign service, " +
+                              std::to_string(scenarios) + " scenarios, " +
+                              std::to_string(cfg.workers) + " workers");
+  Table t({"scenario", "nodes", "expected (h)", "interrupts",
+           "efficiency (%)"});
+  for (std::size_t i = 0; i < result.entries.size(); ++i) {
+    const auto& e = result.entries[i];
+    if (!e || !e->ok()) continue;
+    const auto pt = engine::resilience_point_from_json(e->metrics);
+    t.row()
+        .add(static_cast<int>(i))
+        .add(pt.nodes)
+        .add(pt.simulated_s / 3600.0, 3)
+        .add(pt.mean_failures, 2)
+        .add(100.0 * pt.efficiency, 1);
+  }
+  t.print(std::cout);
+
+  const campaign::CampaignStats& s = result.stats;
+  std::cout << "\ncampaign " << result.campaign << ": "
+            << engine::to_string(result.outcome) << ", " << result.ok
+            << " ok, " << result.timed_out << " timed out, "
+            << result.quarantined << " quarantined, " << result.not_run
+            << " not run\n"
+            << "cache=" << (result.cache_hit ? "hit" : "miss")
+            << " executed=" << s.executed << " resumed=" << s.resumed
+            << " spawned=" << s.workers_spawned << " crashes=" << s.crashes
+            << " respawns=" << s.respawns << " steals=" << s.steals_granted
+            << "/" << s.steal_requests << " stolen=" << s.stolen_indices
+            << " cache_hits="
+            << obs::MetricsRegistry::global().counter("campaign.cache.hit")
+                   .value()
+            << "\n";
+
+  if (const std::string out = cli.get("out", ""); !out.empty()) {
+    if (result.write_results(out)) {
+      std::cout << "wrote results to " << out << " (JSON lines, atomic)\n";
+    } else {
+      std::cout << "failed to write " << out << "\n";
+      return fault::to_int(fault::ExitCode::kError);
+    }
+  }
+  if (const std::string rep = cli.get("report", ""); !rep.empty()) {
+    const campaign::CampaignReportBytes bytes =
+        campaign::campaign_report(spec, cfg, result);
+    if (write_file_atomic(rep, bytes.json) &&
+        write_file_atomic(obs::RunReport::markdown_path_for(rep),
+                          bytes.markdown)) {
+      std::cout << "wrote report to " << rep << "\n";
+    } else {
+      std::cout << "failed to write " << rep << "\n";
+      return fault::to_int(fault::ExitCode::kError);
+    }
+  }
+  return result.exit_code();
+}

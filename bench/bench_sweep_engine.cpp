@@ -28,6 +28,7 @@
 #include "arch/spec.hpp"
 #include "comm/network.hpp"
 #include "fault/resilience_study.hpp"
+#include "fault/taxonomy.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
@@ -72,13 +73,6 @@ bool bit_identical(const std::vector<rr::fault::ResiliencePoint>& a,
       return false;
   }
   return true;
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
 }
 
 // A short traced SimNetwork exchange: spans land on sim-time tracks
@@ -240,7 +234,7 @@ int main(int argc, char** argv) {
                 << trace_path << " (wall + sim timelines)\n";
     } else {
       std::cout << "\nfailed to write " << trace_path << "\n";
-      return 1;
+      return fault::to_int(fault::ExitCode::kError);
     }
   }
 
@@ -248,7 +242,7 @@ int main(int argc, char** argv) {
     const Json params = engine::hpl_campaign_params(node_counts, cfg);
     obs::RunInfo info;
     info.name = "bench_sweep_engine";
-    info.campaign = hex64(engine::campaign_hash(params));
+    info.campaign = engine::campaign_hex(engine::campaign_hash(params));
     info.params = params;
     info.threads = engN.threads();
     obs::RunReport rep(std::move(info));
@@ -272,9 +266,11 @@ int main(int argc, char** argv) {
                 << obs::RunReport::markdown_path_for(report_path) << "\n";
     } else {
       std::cout << "failed to write " << report_path << "\n";
-      return 1;
+      return fault::to_int(fault::ExitCode::kError);
     }
   }
 
-  return (serial_vs_one && one_vs_n && resumable_ok) ? 0 : 1;
+  return (serial_vs_one && one_vs_n && resumable_ok)
+             ? fault::to_int(fault::ExitCode::kClean)
+             : fault::to_int(fault::ExitCode::kError);
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fault/resilience_study.hpp"
+#include "fault/taxonomy.hpp"
 #include "sweep_engine/studies.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
                  " [--deadline-ms=N] [--budget=N] [--max-attempts=N]"
                  " [--slow-ms=N] [--crash-after=N]"
                  " [--fail-transient=I] [--fail-permanent=I]\n";
-    return 2;
+    return fault::to_int(fault::ExitCode::kUsage);
   }
 
   const std::vector<int> node_counts =
@@ -137,7 +138,7 @@ int main(int argc, char** argv) {
       std::cout << "wrote results to " << out << " (JSON lines, atomic)\n";
     else {
       std::cout << "failed to write " << out << "\n";
-      return 1;
+      return fault::to_int(fault::ExitCode::kError);
     }
   }
   return report.exit_code();

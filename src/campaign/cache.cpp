@@ -1,0 +1,106 @@
+#include "campaign/cache.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sweep_engine/journal.hpp"
+#include "util/expect.hpp"
+#include "util/fileio.hpp"
+#include "util/log.hpp"
+
+namespace rr::campaign {
+
+namespace {
+
+constexpr const char* kMagic = "rr-campaign-cache";
+constexpr int kVersion = 1;
+
+bool is_dir(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool is_file(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
+  RR_EXPECTS(!root_.empty());
+}
+
+std::string ResultCache::entry_dir(std::uint64_t campaign) const {
+  return root_ + "/" + engine::campaign_hex(campaign);
+}
+
+std::optional<CacheEntry> ResultCache::lookup(std::uint64_t campaign,
+                                              const Json& params) const {
+  CacheEntry entry;
+  entry.dir = entry_dir(campaign);
+  entry.result_path = entry.dir + "/result.jsonl";
+  entry.report_path = entry.dir + "/report.json";
+  if (!is_dir(entry.dir)) return std::nullopt;
+  try {
+    entry.meta = Json::parse(read_file(entry.dir + "/meta.json"));
+    if (entry.meta.at("cache").as_string() != kMagic ||
+        entry.meta.at("version").as_int() != kVersion ||
+        entry.meta.at("campaign").as_string() !=
+            engine::campaign_hex(campaign) ||
+        !(entry.meta.at("params") == params)) {
+      RR_WARN("campaign cache " << entry.dir
+                                << ": identity mismatch; treating as a miss");
+      return std::nullopt;
+    }
+    if (!is_file(entry.result_path) || !is_file(entry.report_path)) {
+      RR_WARN("campaign cache " << entry.dir
+                                << ": incomplete entry; treating as a miss");
+      return std::nullopt;
+    }
+  } catch (const std::exception& e) {
+    RR_WARN("campaign cache " << entry.dir << ": unreadable meta (" << e.what()
+                              << "); treating as a miss");
+    return std::nullopt;
+  }
+  return entry;
+}
+
+bool ResultCache::publish(std::uint64_t campaign, const Json& meta,
+                          std::string_view result_bytes,
+                          std::string_view report_json,
+                          std::string_view report_md) {
+  if (!make_dirs(root_)) return false;
+  FileLock lock(root_ + "/.lock");
+  if (!lock.held()) return false;
+
+  const std::string final_dir = entry_dir(campaign);
+  if (is_dir(final_dir)) return true;  // a racer already published
+
+  const std::string stage = root_ + "/.stage-" +
+                            engine::campaign_hex(campaign) + "-" +
+                            std::to_string(::getpid());
+  if (!make_dirs(stage)) return false;
+  bool ok = write_file_atomic(stage + "/meta.json", meta.dump(2) + "\n") &&
+            write_file_atomic(stage + "/result.jsonl", result_bytes) &&
+            write_file_atomic(stage + "/report.json", report_json) &&
+            write_file_atomic(stage + "/report.md", report_md);
+  ok = ok && ::rename(stage.c_str(), final_dir.c_str()) == 0;
+  if (!ok) {
+    RR_WARN("campaign cache " << final_dir << ": publish failed ("
+                              << std::strerror(errno) << ")");
+    // Best-effort cleanup of the stage directory.
+    for (const char* f : {"/meta.json", "/result.jsonl", "/report.json",
+                          "/report.md"})
+      ::unlink((stage + f).c_str());
+    ::rmdir(stage.c_str());
+    return false;
+  }
+  RR_INFO("campaign cache: published " << final_dir);
+  return true;
+}
+
+}  // namespace rr::campaign

@@ -1,0 +1,131 @@
+#include "campaign/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace rr::campaign {
+
+namespace {
+
+bool write_fully(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Full read; returns bytes read (short only at EOF).
+std::size_t read_fully(int fd, char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("frame read failed: ") +
+                               std::strerror(errno));
+    }
+    if (r == 0) break;
+    off += static_cast<std::size_t>(r);
+  }
+  return off;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const Json& msg) {
+  const std::string payload = msg.dump();
+  RR_EXPECTS(payload.size() <= kMaxFrameBytes);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char buf[4] = {static_cast<char>((len >> 24) & 0xff),
+                 static_cast<char>((len >> 16) & 0xff),
+                 static_cast<char>((len >> 8) & 0xff),
+                 static_cast<char>(len & 0xff)};
+  // Two writes at most; the peer reassembles by length, so a stream that
+  // interleaves at the kernel boundary is still unambiguous.
+  return write_fully(fd, buf, sizeof buf) &&
+         write_fully(fd, payload.data(), payload.size());
+}
+
+std::optional<Json> read_frame(int fd) {
+  char hdr[4];
+  const std::size_t got = read_fully(fd, hdr, sizeof hdr);
+  if (got == 0) return std::nullopt;  // clean EOF between frames
+  if (got < sizeof hdr)
+    throw std::runtime_error("frame truncated inside length prefix");
+  const std::uint32_t len = (static_cast<std::uint32_t>(
+                                 static_cast<unsigned char>(hdr[0]))
+                             << 24) |
+                            (static_cast<std::uint32_t>(
+                                 static_cast<unsigned char>(hdr[1]))
+                             << 16) |
+                            (static_cast<std::uint32_t>(
+                                 static_cast<unsigned char>(hdr[2]))
+                             << 8) |
+                            static_cast<std::uint32_t>(
+                                static_cast<unsigned char>(hdr[3]));
+  if (len > kMaxFrameBytes)
+    throw std::runtime_error("frame length " + std::to_string(len) +
+                             " exceeds limit (stream desynced?)");
+  std::string payload(len, '\0');
+  if (read_fully(fd, payload.data(), len) < len)
+    throw std::runtime_error("frame truncated inside payload");
+  return Json::parse(payload);
+}
+
+Json ranges_to_json(const std::vector<IndexRange>& ranges) {
+  Json arr = Json::array();
+  for (const auto& r : ranges) {
+    Json pair = Json::array();
+    pair.push_back(r.lo);
+    pair.push_back(r.hi);
+    arr.push_back(std::move(pair));
+  }
+  return arr;
+}
+
+std::vector<IndexRange> ranges_from_json(const Json& j) {
+  std::vector<IndexRange> out;
+  out.reserve(j.size());
+  for (const Json& pair : j.as_array()) {
+    IndexRange r;
+    r.lo = static_cast<int>(pair.at(std::size_t{0}).as_int());
+    r.hi = static_cast<int>(pair.at(std::size_t{1}).as_int());
+    if (r.lo > r.hi) throw std::runtime_error("inverted index range");
+    out.push_back(r);
+  }
+  return out;
+}
+
+int range_count(const std::vector<IndexRange>& ranges) {
+  int n = 0;
+  for (const auto& r : ranges) n += r.count();
+  return n;
+}
+
+std::vector<IndexRange> ranges_from_sorted_indices(
+    const std::vector<int>& indices) {
+  std::vector<IndexRange> out;
+  for (const int i : indices) {
+    if (!out.empty() && out.back().hi == i) {
+      ++out.back().hi;
+    } else {
+      RR_EXPECTS(out.empty() || i > out.back().hi);
+      out.push_back({i, i + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace rr::campaign

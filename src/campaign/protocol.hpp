@@ -1,0 +1,71 @@
+// Wire protocol between the campaign coordinator and its forked workers
+// (DESIGN.md §11): length-prefixed JSON frames over a local stream fd
+// (socketpair or pipe).
+//
+// A frame is a 4-byte big-endian payload length followed by exactly that
+// many bytes of compact JSON (util/json, so numbers round-trip bit-exactly
+// through the protocol).  Frames are small -- assignments, heartbeats,
+// steal grants -- and each side writes a whole frame with one write loop,
+// so a reader woken by poll() drains complete messages.
+//
+// Message vocabulary (field "t"):
+//
+//   worker -> coordinator
+//     hello     {t, shard, pid}                      after fork/respawn
+//     progress  {t, shard, completed:[[idx,status]..],
+//                executed, remaining, outcome}       after each chunk, and
+//                                                    as an idle heartbeat
+//     released  {t, shard, ranges:[[lo,hi)..]}       reply to steal
+//     done      {t, shard, outcome}                  reply to stop
+//
+//   coordinator -> worker
+//     run       {t, ranges:[[lo,hi)..]}              own these indices
+//     steal     {t}                                  give back ~half of the
+//                                                    unstarted remainder
+//     stop      {t}                                  finish up and exit
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace rr::campaign {
+
+/// Upper bound on a frame payload; a length prefix beyond it means the
+/// stream is corrupt (desynced), not that a message is merely large.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Write one frame.  Returns false on any write failure (EPIPE included:
+/// the caller learns the peer died; run_campaign ignores SIGPIPE so a
+/// dead worker cannot kill the coordinator).
+bool write_frame(int fd, const Json& msg);
+
+/// Blocking read of one frame.  nullopt on clean EOF at a frame boundary;
+/// throws std::runtime_error on a truncated frame, an oversized length
+/// prefix, or unparseable payload.
+std::optional<Json> read_frame(int fd);
+
+/// Half-open index interval [lo, hi), the unit of shard assignment.
+struct IndexRange {
+  int lo = 0;
+  int hi = 0;
+
+  int count() const { return hi - lo; }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// [[lo,hi],...] <-> vector<IndexRange>.
+Json ranges_to_json(const std::vector<IndexRange>& ranges);
+std::vector<IndexRange> ranges_from_json(const Json& j);
+
+/// Total index count across ranges.
+int range_count(const std::vector<IndexRange>& ranges);
+
+/// Compress a sorted, duplicate-free index list into maximal ranges.
+std::vector<IndexRange> ranges_from_sorted_indices(
+    const std::vector<int>& indices);
+
+}  // namespace rr::campaign

@@ -1,0 +1,143 @@
+// Sharded campaign service (DESIGN.md §11): the multi-process composition
+// of the resilient sweep runtime.
+//
+// run_campaign() splits a campaign's scenario index range into shards and
+// forks one worker process per shard.  Each worker drives its shard
+// through engine::run_resilient_indices with its own fsync'd shard
+// journal (campaign-scoped, so it resumes bit-exactly in any process),
+// its own watchdog/retry settings, and a per-shard failure budget.  The
+// coordinator stays single-threaded and event-driven: it polls the
+// workers' frame sockets (campaign/protocol.hpp), scans heartbeat
+// deadlines the same way the scenario watchdog scans start stamps, reaps
+// dead workers with waitpid, respawns crashed ones onto their own shard
+// journal (completed work is served from the journal, not recomputed),
+// and work-steals unstarted index sub-ranges from loaded shards the
+// moment another worker goes idle.  When every index is complete the
+// shard journals are merged into one cross-shard result whose scenario
+// ordering and bytes are identical to a single-process run of the same
+// campaign.
+//
+// In front of execution sits the content-addressed result cache
+// (campaign/cache.hpp): a repeated query of the same campaign identity is
+// served from the cached journal/report bytes with zero scenario
+// executions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep_engine/resilient.hpp"
+
+namespace rr::campaign {
+
+/// What to run: the campaign identity is campaign_hash(params), exactly
+/// the identity the shard journals and the result cache are keyed by.
+/// Fold anything that changes results (spec knobs, seed, engine
+/// provenance) into `params`.
+struct CampaignSpec {
+  std::string name = "campaign";
+  Json params = Json::object();
+  int scenarios = 0;
+  std::uint64_t base_seed = 0;
+  /// Optional per-index seed override (must match what a single-process
+  /// run of the same study would derive).
+  std::function<std::uint64_t(int)> seed_of;
+};
+
+/// How to run it.
+struct ServiceConfig {
+  /// Forked worker processes; 0 runs the whole campaign in-process
+  /// (still journaled and cache-fronted -- the degenerate shard).
+  int workers = 1;
+  /// SweepEngine threads inside each worker (workers are the primary
+  /// parallelism axis; keep 1 unless scenarios are long).
+  int threads_per_worker = 1;
+  /// Indices a worker runs between control-socket polls; also the
+  /// minimum remainder worth stealing from.
+  int chunk = 4;
+  /// Coordinator poll cadence and worker idle-heartbeat period.
+  std::chrono::milliseconds heartbeat{50};
+  /// No frame from any worker for this long => assume the fleet is
+  /// wedged, SIGKILL it, and finish the remainder in-process.  The
+  /// coordinator-side analogue of the scenario watchdog.
+  std::chrono::milliseconds fleet_deadline{60'000};
+  /// Respawns allowed per shard before its remainder is reassigned.
+  int max_respawns = 3;
+  /// Directory for shard journals (created if missing).  Required when
+  /// scenarios run; reusing it resumes the campaign's shards.
+  std::string work_dir;
+  /// Result-cache root; empty disables caching.
+  std::string cache_dir;
+  /// Per-shard resilience settings (retry, watchdog deadline, failure
+  /// budget).  base_seed/seed_of are taken from the spec, not from here.
+  engine::ResilientConfig resilient{};
+  /// Fault-injection hook: shard `crash_shard`'s first incarnation dies
+  /// via the journal crash hook (std::_Exit(137), fault::ExitCode::kCrash)
+  /// after `crash_after` appends -- deterministic mid-shard death for the
+  /// respawn path.  Respawns are not re-armed.
+  int crash_shard = -1;
+  int crash_after = 0;
+};
+
+struct CampaignStats {
+  int workers_spawned = 0;
+  int crashes = 0;
+  int respawns = 0;
+  int steal_requests = 0;
+  int steals_granted = 0;   ///< steal replies that released work
+  int stolen_indices = 0;
+  int executed = 0;         ///< scenarios actually computed this run
+  int resumed = 0;          ///< served from pre-existing shard journals
+};
+
+struct CampaignResult {
+  /// Merged cross-shard entries in index order (nullopt = never ran).
+  std::vector<std::optional<engine::JournalEntry>> entries;
+  engine::RunOutcome outcome = engine::RunOutcome::kClean;
+  bool cache_hit = false;
+  std::string campaign;       ///< hex64 identity
+  /// Canonical result bytes: one compact JSON line per entry in index
+  /// order.  On a cache hit these are the cached bytes verbatim.
+  std::string result_bytes;
+  /// On a cache hit, the cached report.json / report.md verbatim.
+  std::string cached_report_json;
+  std::string cached_report_md;
+  CampaignStats stats;
+  int ok = 0;
+  int timed_out = 0;
+  int quarantined = 0;
+  int not_run = 0;
+
+  /// fault::ExitCode of the outcome (same contract as ResilientReport).
+  int exit_code() const { return engine::exit_code(outcome); }
+
+  /// Atomic snapshot of result_bytes.
+  bool write_results(const std::string& path) const;
+};
+
+/// Execute (or serve) the campaign.  `fn` must be deterministic per
+/// (index, seed) -- that is what makes shard merges, respawn resumes, and
+/// cache hits bit-exact.  The function is called in forked worker
+/// processes (and in-process for workers == 0 or coordinator takeover).
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const engine::ResilientScenario& fn,
+                            const ServiceConfig& cfg);
+
+/// The report.json/report.md pair for a finished campaign: rr-run-report
+/// with the coordinator's campaign.* metrics snapshot and shard stats
+/// under "extra".  On a cache hit the cached pair is returned verbatim
+/// instead of being rebuilt, so a hit's report is byte-identical to the
+/// populating run's.
+struct CampaignReportBytes {
+  std::string json;
+  std::string markdown;
+};
+CampaignReportBytes campaign_report(const CampaignSpec& spec,
+                                    const ServiceConfig& cfg,
+                                    const CampaignResult& result);
+
+}  // namespace rr::campaign

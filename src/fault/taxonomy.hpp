@@ -42,6 +42,52 @@ constexpr std::optional<ErrorClass> error_class_from_string(
   return std::nullopt;
 }
 
+/// Process exit-code contract shared by every sweep/campaign binary.
+/// One table, one meaning per code, across the resilient runner, the
+/// campaign service, the bench drivers, and CI's assertions:
+///
+///   0   kClean           every scenario ok
+///   1   kError           the binary itself failed (I/O, internal gate)
+///   2   kUsage           bad command line
+///   3   kDegraded        completed, but with timeouts and/or quarantines
+///   4   kBudgetExceeded  aborted on the run-level failure budget
+///   137 kCrash           the crash hook fired (std::_Exit after a journal
+///                        fsync) -- the same code a SIGKILLed child reports
+enum class ExitCode : int {
+  kClean = 0,
+  kError = 1,
+  kUsage = 2,
+  kDegraded = 3,
+  kBudgetExceeded = 4,
+  kCrash = 137,
+};
+
+constexpr int to_int(ExitCode c) { return static_cast<int>(c); }
+
+constexpr const char* describe(ExitCode c) {
+  switch (c) {
+    case ExitCode::kClean: return "clean";
+    case ExitCode::kError: return "error";
+    case ExitCode::kUsage: return "usage";
+    case ExitCode::kDegraded: return "degraded";
+    case ExitCode::kBudgetExceeded: return "failure-budget-exceeded";
+    case ExitCode::kCrash: return "crash-hook";
+  }
+  return "?";
+}
+
+constexpr std::optional<ExitCode> exit_code_from_int(int v) {
+  switch (v) {
+    case 0: return ExitCode::kClean;
+    case 1: return ExitCode::kError;
+    case 2: return ExitCode::kUsage;
+    case 3: return ExitCode::kDegraded;
+    case 4: return ExitCode::kBudgetExceeded;
+    case 137: return ExitCode::kCrash;
+    default: return std::nullopt;
+  }
+}
+
 /// Truncated exponential backoff before retry `losses` (>= 1 after the
 /// first loss): initial * multiplier^(losses-1), clamped to `max`.  The
 /// iterative form (multiply, then clamp) is the contract: integer time

@@ -23,13 +23,6 @@ namespace {
 constexpr const char* kMagic = "rr-sweep";
 constexpr int kVersion = 1;
 
-std::string hex64(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
 std::uint64_t parse_u64(const std::string& s) {
   return std::strtoull(s.c_str(), nullptr, 10);
 }
@@ -37,6 +30,25 @@ std::uint64_t parse_u64(const std::string& s) {
 [[noreturn]] void journal_fail(const std::string& path,
                                const std::string& what) {
   throw std::runtime_error("journal " + path + ": " + what);
+}
+
+/// Shared by the resuming constructor and the read-only loaders: the
+/// header must name this campaign and scenario count, or we refuse.
+void check_header(const std::string& path, const Json& header,
+                  std::uint64_t campaign, int scenarios) {
+  if (!header.is_object() || !header.find("journal") ||
+      header.at("journal").as_string() != kMagic)
+    journal_fail(path, "not a sweep journal");
+  if (header.at("version").as_int() != kVersion)
+    journal_fail(path, "unsupported version " +
+                           std::to_string(header.at("version").as_int()));
+  if (header.at("campaign").as_string() != campaign_hex(campaign))
+    journal_fail(path, "campaign mismatch (journal " +
+                           header.at("campaign").as_string() + ", run " +
+                           campaign_hex(campaign) +
+                           "): refusing to resume with different parameters");
+  if (header.at("scenarios").as_int() != scenarios)
+    journal_fail(path, "scenario count mismatch");
 }
 
 // Journal instrumentation (DESIGN.md §10): fsync latency is the cost
@@ -123,6 +135,55 @@ std::uint64_t campaign_hash(const Json& params) {
   return h;
 }
 
+std::string campaign_hex(std::uint64_t campaign) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(campaign));
+  return buf;
+}
+
+std::vector<std::optional<JournalEntry>> read_journal_entries(
+    const std::string& path, const Json& params, int scenarios) {
+  RR_EXPECTS(scenarios >= 0);
+  std::vector<std::optional<JournalEntry>> entries(
+      static_cast<std::size_t>(scenarios));
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0 || st.st_size == 0) return entries;
+  const JsonlData data = read_jsonl_file(path);
+  if (data.records.empty()) return entries;
+  check_header(path, data.records.front(), campaign_hash(params), scenarios);
+  for (std::size_t i = 1; i < data.records.size(); ++i) {
+    const JournalEntry e = journal_entry_from_json(data.records[i]);
+    if (e.index < 0 || e.index >= scenarios)
+      journal_fail(path,
+                   "entry index " + std::to_string(e.index) + " out of range");
+    entries[static_cast<std::size_t>(e.index)] = e;
+  }
+  return entries;
+}
+
+std::vector<std::optional<JournalEntry>> merge_journal_files(
+    const std::vector<std::string>& paths, const Json& params, int scenarios) {
+  std::vector<std::optional<JournalEntry>> merged(
+      static_cast<std::size_t>(scenarios));
+  for (const auto& path : paths) {
+    const auto shard = read_journal_entries(path, params, scenarios);
+    for (int i = 0; i < scenarios; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (!shard[idx]) continue;
+      if (!merged[idx]) {
+        merged[idx] = shard[idx];
+        continue;
+      }
+      if (to_json(*merged[idx]).dump() != to_json(*shard[idx]).dump())
+        RR_WARN("journal merge: index " << i << " differs between shards"
+                                        << " (keeping the first record); "
+                                        << path << " loses");
+    }
+  }
+  return merged;
+}
+
 SweepJournal::SweepJournal(std::string path, const Json& params, int scenarios)
     : path_(std::move(path)), scenarios_(scenarios) {
   RR_EXPECTS(scenarios_ >= 0);
@@ -137,21 +198,7 @@ SweepJournal::SweepJournal(std::string path, const Json& params, int scenarios)
       // Only a torn header made it to disk: treat as a fresh journal.
       tail_recovered_ = data.torn_tail;
     } else {
-      const Json& header = data.records.front();
-      if (!header.is_object() || !header.find("journal") ||
-          header.at("journal").as_string() != kMagic)
-        journal_fail(path_, "not a sweep journal");
-      if (header.at("version").as_int() != kVersion)
-        journal_fail(path_, "unsupported version " +
-                                std::to_string(header.at("version").as_int()));
-      if (header.at("campaign").as_string() != hex64(campaign_))
-        journal_fail(path_,
-                     "campaign mismatch (journal " +
-                         header.at("campaign").as_string() + ", run " +
-                         hex64(campaign_) +
-                         "): refusing to resume with different parameters");
-      if (header.at("scenarios").as_int() != scenarios_)
-        journal_fail(path_, "scenario count mismatch");
+      check_header(path_, data.records.front(), campaign_, scenarios_);
       for (std::size_t i = 1; i < data.records.size(); ++i) {
         const JournalEntry e = journal_entry_from_json(data.records[i]);
         if (e.index < 0 || e.index >= scenarios_)
@@ -175,7 +222,7 @@ SweepJournal::SweepJournal(std::string path, const Json& params, int scenarios)
                          << data.clean_bytes);
     }
     if (resumed_)
-      RR_INFO("journal " << path_ << ": resumed campaign " << hex64(campaign_)
+      RR_INFO("journal " << path_ << ": resumed campaign " << campaign_hex(campaign_)
                          << " with " << completed_ << "/" << scenarios_
                          << " scenarios already journaled");
   }
@@ -188,7 +235,7 @@ SweepJournal::SweepJournal(std::string path, const Json& params, int scenarios)
     Json header = Json::object();
     header.set("journal", kMagic)
         .set("version", kVersion)
-        .set("campaign", hex64(campaign_))
+        .set("campaign", campaign_hex(campaign_))
         .set("scenarios", scenarios_)
         .set("params", params);
     if (!append_line_fsync(fd_, header.dump()))

@@ -62,6 +62,28 @@ JournalEntry journal_entry_from_json(const Json& j);
 /// 64-bit FNV-1a over the compact dump of `params`: the campaign identity.
 std::uint64_t campaign_hash(const Json& params);
 
+/// The identity as it appears in journal headers, cache directory names,
+/// and run reports: 16 lowercase hex digits.
+std::string campaign_hex(std::uint64_t campaign);
+
+/// Read-only load of a journal file's entries, validated against the
+/// campaign (params) and scenario count exactly as resuming would --
+/// without creating, appending to, or truncating the file.  A missing or
+/// header-only file yields all-empty slots; a torn tail is tolerated
+/// (the partial record is ignored); a campaign/scenario mismatch throws.
+std::vector<std::optional<JournalEntry>> read_journal_entries(
+    const std::string& path, const Json& params, int scenarios);
+
+/// Union-merge several shard journals of one campaign into a single
+/// entry vector in index order.  Shards normally hold disjoint index
+/// sets; when two journals both carry an index (a respawn raced a
+/// takeover), the first path's record wins and a byte-level mismatch is
+/// logged -- deterministic scenarios make the records identical anyway.
+/// Missing files are skipped, so the caller can pass every path a
+/// coordinator might have used.
+std::vector<std::optional<JournalEntry>> merge_journal_files(
+    const std::vector<std::string>& paths, const Json& params, int scenarios);
+
 class SweepJournal {
  public:
   /// Create `path` (writing the header) or resume an existing journal.
@@ -101,7 +123,8 @@ class SweepJournal {
   /// mimicking a SIGKILL at a scenario boundary.  Also armed by the
   /// RR_CRASH_AFTER_N environment variable at construction.
   void set_crash_after(int n) { crash_after_ = n; }
-  static constexpr int kCrashExitCode = 137;  // what a SIGKILLed child reports
+  /// fault::ExitCode::kCrash -- what a SIGKILLed child reports too.
+  static constexpr int kCrashExitCode = fault::to_int(fault::ExitCode::kCrash);
 
  private:
   std::string path_;

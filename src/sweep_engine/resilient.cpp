@@ -63,11 +63,13 @@ const char* to_string(RunOutcome o) {
 
 int exit_code(RunOutcome o) {
   switch (o) {
-    case RunOutcome::kClean: return 0;
-    case RunOutcome::kDegraded: return 3;
-    case RunOutcome::kBudgetExceeded: return 4;
+    case RunOutcome::kClean: return fault::to_int(fault::ExitCode::kClean);
+    case RunOutcome::kDegraded:
+      return fault::to_int(fault::ExitCode::kDegraded);
+    case RunOutcome::kBudgetExceeded:
+      return fault::to_int(fault::ExitCode::kBudgetExceeded);
   }
-  return 1;
+  return fault::to_int(fault::ExitCode::kError);
 }
 
 void ResilientReport::print(std::ostream& os) const {
@@ -113,12 +115,28 @@ ResilientReport run_resilient(SweepEngine& eng, int n,
                               const ResilientScenario& fn,
                               SweepJournal* journal,
                               const ResilientConfig& cfg) {
+  std::vector<int> indices(static_cast<std::size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) indices[static_cast<std::size_t>(i)] = i;
+  return run_resilient_indices(eng, n, indices, fn, journal, cfg);
+}
+
+ResilientReport run_resilient_indices(SweepEngine& eng, int n,
+                                      const std::vector<int>& indices,
+                                      const ResilientScenario& fn,
+                                      SweepJournal* journal,
+                                      const ResilientConfig& cfg) {
   RR_EXPECTS(n >= 0);
   RR_EXPECTS(cfg.retry.max_attempts >= 1);
   RR_EXPECTS(!journal || journal->scenarios() == n);
 
   ResilientReport report;
   report.entries.resize(static_cast<std::size_t>(n));
+  std::vector<char> requested(static_cast<std::size_t>(n), 0);
+  for (const int i : indices) {
+    RR_EXPECTS(i >= 0 && i < n);
+    RR_EXPECTS(!requested[static_cast<std::size_t>(i)]);
+    requested[static_cast<std::size_t>(i)] = 1;
+  }
 
   const auto seed_of = [&cfg](int i) {
     return cfg.seed_of ? cfg.seed_of(i)
@@ -249,7 +267,17 @@ ResilientReport run_resilient(SweepEngine& eng, int n,
     }
   };
 
-  if (n > 0) eng.pool().for_each_index(n, worker, &abort);
+  // The pool fans out over the not-yet-journaled requested indices only;
+  // slots are still keyed by global index, so the determinism contract
+  // (results keyed by index, seeds derived from index) is unchanged.
+  std::vector<int> todo;
+  todo.reserve(indices.size());
+  for (const int i : indices)
+    if (!report.entries[static_cast<std::size_t>(i)]) todo.push_back(i);
+  if (!todo.empty())
+    eng.pool().for_each_index(
+        static_cast<int>(todo.size()),
+        [&](int j) { worker(todo[static_cast<std::size_t>(j)]); }, &abort);
 
   batch_done.store(true, std::memory_order_release);
   if (watchdog.joinable()) watchdog.join();
@@ -257,7 +285,7 @@ ResilientReport run_resilient(SweepEngine& eng, int n,
   for (int i = 0; i < n; ++i) {
     const auto& e = report.entries[static_cast<std::size_t>(i)];
     if (!e) {
-      ++report.not_run;
+      if (requested[static_cast<std::size_t>(i)]) ++report.not_run;
       continue;
     }
     switch (e->status) {

@@ -1,6 +1,7 @@
 #include "util/fileio.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -40,6 +41,44 @@ bool write_file_atomic(const std::string& path, std::string_view content) {
   ok = ok && ::rename(tmp.c_str(), path.c_str()) == 0;
   if (!ok) ::unlink(tmp.c_str());
   return ok;
+}
+
+bool make_dirs(const std::string& path) {
+  if (path.empty()) return false;
+  std::string partial;
+  partial.reserve(path.size());
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      partial.push_back(path[i]);
+      continue;
+    }
+    if (!partial.empty() && partial != "/" &&
+        ::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+      return false;
+    if (i < path.size()) partial.push_back('/');
+  }
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+FileLock::FileLock(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return;
+  int rc;
+  do {
+    rc = ::flock(fd_, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
 }
 
 bool append_line_fsync(int fd, std::string_view line) {

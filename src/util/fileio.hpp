@@ -27,6 +27,32 @@ namespace rr {
 /// previous file, if any, is untouched in that case.
 bool write_file_atomic(const std::string& path, std::string_view content);
 
+/// mkdir -p: create `path` and any missing parents.  Returns true when
+/// the directory exists afterwards (including when it already did).
+bool make_dirs(const std::string& path);
+
+/// Advisory whole-file lock (flock LOCK_EX) held for the object's
+/// lifetime; creates the lock file if needed and blocks until acquired.
+/// Serializes cross-process critical sections -- the campaign result
+/// cache takes one around publish so two coordinators finishing the same
+/// campaign race on the rename, not on half-written entries.  The lock
+/// file itself is never deleted (deleting would un-serialize a waiter).
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  /// False when the lock file could not be opened or flock failed; the
+  /// caller decides whether to proceed unserialized or bail.
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
 /// Append `line` plus '\n' to `fd` as a single write(2), then fdatasync.
 /// Returns false on failure.  `line` must not contain '\n'.
 bool append_line_fsync(int fd, std::string_view line);

@@ -20,6 +20,7 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mu;
 std::FILE* g_json = nullptr;
 std::string g_json_path;
+std::string g_prefix;
 
 std::once_flag g_env_once;
 
@@ -97,6 +98,22 @@ void set_log_json_path(const std::string& path) {
   g_json_path = g_json ? path : "";
 }
 
+std::string log_json_path() {
+  ensure_env_init();
+  std::lock_guard lock(g_mu);
+  return g_json_path;
+}
+
+void set_log_prefix(const std::string& prefix) {
+  std::lock_guard lock(g_mu);
+  g_prefix = prefix;
+}
+
+std::string log_prefix() {
+  std::lock_guard lock(g_mu);
+  return g_prefix;
+}
+
 void log_init_from_env() {
   ensure_env_init();  // make sure the once-flag cannot fire after us
   std::lock_guard lock(g_mu);
@@ -109,13 +126,18 @@ void log_emit(LogLevel level, const std::string& msg) {
   ensure_env_init();
   const int tid = thread_id();
   std::lock_guard lock(g_mu);
-  std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
+  if (g_prefix.empty())
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
+  else
+    std::fprintf(stderr, "[%s] [%s] %s\n", to_string(level), g_prefix.c_str(),
+                 msg.c_str());
   if (g_json) {
     Json record = Json::object();
     record.set("ts", unix_seconds())
         .set("level", to_string(level))
-        .set("thread", tid)
-        .set("msg", msg);
+        .set("thread", tid);
+    if (!g_prefix.empty()) record.set("prefix", g_prefix);
+    record.set("msg", msg);
     const std::string line = record.dump();
     std::fprintf(g_json, "%s\n", line.c_str());
     std::fflush(g_json);

@@ -1,0 +1,386 @@
+// Contract tests for the sharded campaign service (DESIGN.md §11): the
+// frame protocol, the coordinator/worker fleet (sharding, work-stealing,
+// crash respawn), and the content-addressed result cache.  The invariant
+// under test throughout is byte-identity: the merged cross-shard result
+// of any fleet shape -- including one with a worker killed mid-shard --
+// equals the single-process bytes, and a cache hit serves the populating
+// run's bytes verbatim.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/protocol.hpp"
+#include "campaign/service.hpp"
+#include "obs/metrics.hpp"
+#include "util/fileio.hpp"
+#include "util/rng.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define RR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RR_TSAN 1
+#endif
+#endif
+
+namespace rr {
+namespace {
+
+std::string tmp_dir(const std::string& stem) {
+  const std::string dir =
+      ::testing::TempDir() + stem + "." + std::to_string(::getpid());
+  make_dirs(dir);
+  return dir;
+}
+
+Json campaign_params(const std::string& salt) {
+  Json p = Json::object();
+  p.set("study", Json("campaign-unit"));
+  p.set("salt", Json(salt));
+  return p;
+}
+
+// Deterministic toy metrics with non-terminating binary fractions so
+// byte-identity through the %.17g round trip actually bites.
+Json scenario_metrics(int i) {
+  Rng rng(engine::scenario_seed(0xc0ffeeULL, static_cast<std::uint64_t>(i)));
+  Json o = Json::object();
+  o.set("x", Json(rng.next_double() / 3.0));
+  o.set("y", Json(rng.next_double() * 1e-7));
+  return o;
+}
+
+engine::ResilientScenario plain_fn() {
+  return [](int i, const engine::CancelToken&) { return scenario_metrics(i); };
+}
+
+campaign::CampaignSpec make_spec(const std::string& salt, int scenarios) {
+  campaign::CampaignSpec spec;
+  spec.name = "campaign_test";
+  spec.params = campaign_params(salt);
+  spec.scenarios = scenarios;
+  spec.base_seed = 0xc0ffeeULL;
+  return spec;
+}
+
+/// The single-process reference bytes for a spec (no journal on disk).
+std::string reference_bytes(const campaign::CampaignSpec& spec,
+                            const engine::ResilientScenario& fn) {
+  engine::SweepEngine eng({1});
+  engine::ResilientConfig rcfg;
+  rcfg.base_seed = spec.base_seed;
+  const auto report =
+      engine::run_resilient(eng, spec.scenarios, fn, nullptr, rcfg);
+  std::ostringstream os;
+  engine::write_entries_jsonl(report.entries, os);
+  return os.str();
+}
+
+std::uint64_t hit_count() {
+  return obs::MetricsRegistry::global().counter("campaign.cache.hit").value();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol plumbing
+// ---------------------------------------------------------------------------
+
+TEST(CampaignProtocol, FramesRoundTripAcrossAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  Json msg = Json::object();
+  msg.set("t", "run").set(
+      "ranges", campaign::ranges_to_json({{0, 4}, {9, 12}}));
+  ASSERT_TRUE(campaign::write_frame(fds[1], msg));
+  Json second = Json::object();
+  second.set("t", "stop");
+  ASSERT_TRUE(campaign::write_frame(fds[1], second));
+  ::close(fds[1]);
+
+  const auto got = campaign::read_frame(fds[0]);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("t").as_string(), "run");
+  const auto ranges = campaign::ranges_from_json(got->at("ranges"));
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (campaign::IndexRange{0, 4}));
+  EXPECT_EQ(campaign::range_count(ranges), 7);
+  const auto next = campaign::read_frame(fds[0]);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->at("t").as_string(), "stop");
+  EXPECT_FALSE(campaign::read_frame(fds[0]).has_value());  // clean EOF
+  ::close(fds[0]);
+}
+
+TEST(CampaignProtocol, TruncatedFrameAndOversizeLengthThrow) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char torn[] = {0, 0, 0, 9, '{', '"'};  // promises 9, delivers 2
+  ASSERT_EQ(::write(fds[1], torn, sizeof torn),
+            static_cast<ssize_t>(sizeof torn));
+  ::close(fds[1]);
+  EXPECT_THROW(campaign::read_frame(fds[0]), std::runtime_error);
+  ::close(fds[0]);
+
+  ASSERT_EQ(::pipe(fds), 0);
+  const unsigned char huge[] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(fds[1], huge, sizeof huge),
+            static_cast<ssize_t>(sizeof huge));
+  ::close(fds[1]);
+  EXPECT_THROW(campaign::read_frame(fds[0]), std::runtime_error);
+  ::close(fds[0]);
+}
+
+TEST(CampaignProtocol, SortedIndicesCompressToMaximalRanges) {
+  const auto r = campaign::ranges_from_sorted_indices({0, 1, 2, 5, 7, 8});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (campaign::IndexRange{0, 3}));
+  EXPECT_EQ(r[1], (campaign::IndexRange{5, 6}));
+  EXPECT_EQ(r[2], (campaign::IndexRange{7, 9}));
+  EXPECT_TRUE(campaign::ranges_from_sorted_indices({}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Service: fleet shapes vs the single-process bytes
+// ---------------------------------------------------------------------------
+
+TEST(CampaignService, InProcessModeMatchesSingleProcessBytes) {
+  const auto spec = make_spec("in-process", 8);
+  const std::string golden = reference_bytes(spec, plain_fn());
+
+  campaign::ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.work_dir = tmp_dir("campaign-inproc");
+  const auto result = campaign::run_campaign(spec, plain_fn(), cfg);
+  EXPECT_EQ(result.outcome, engine::RunOutcome::kClean);
+  EXPECT_EQ(result.ok, 8);
+  EXPECT_EQ(result.exit_code(), 0);
+  EXPECT_EQ(result.result_bytes, golden);
+}
+
+TEST(CampaignService, ShardedFleetMergesByteIdenticallyToSingleProcess) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const auto spec = make_spec("sharded", 13);  // uneven split on purpose
+  const std::string golden = reference_bytes(spec, plain_fn());
+
+  campaign::ServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.chunk = 2;
+  cfg.work_dir = tmp_dir("campaign-sharded");
+  const auto result = campaign::run_campaign(spec, plain_fn(), cfg);
+  EXPECT_EQ(result.outcome, engine::RunOutcome::kClean);
+  EXPECT_EQ(result.ok, 13);
+  EXPECT_EQ(result.stats.workers_spawned, 3);
+  EXPECT_EQ(result.stats.executed, 13);
+  EXPECT_EQ(result.result_bytes, golden);
+#endif
+}
+
+TEST(CampaignService, CrashedWorkerIsRespawnedAndResultStaysByteIdentical) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const auto spec = make_spec("crash", 12);
+  const std::string golden = reference_bytes(spec, plain_fn());
+
+  campaign::ServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.chunk = 1;
+  cfg.work_dir = tmp_dir("campaign-crash");
+  cfg.crash_shard = 1;   // dies via the journal crash hook (exit 137)...
+  cfg.crash_after = 2;   // ...after two fsync'd appends
+  const auto result = campaign::run_campaign(spec, plain_fn(), cfg);
+  EXPECT_EQ(result.outcome, engine::RunOutcome::kClean);
+  EXPECT_EQ(result.ok, 12);
+  EXPECT_GE(result.stats.crashes, 1);
+  EXPECT_GE(result.stats.respawns, 1);
+  // The respawned worker resumed from its own journal: the append that
+  // the crash cut off before its progress frame (the crash hook fires
+  // right after the fsync) is served from disk, not recomputed.
+  EXPECT_GE(result.stats.resumed, 1);
+  EXPECT_EQ(result.result_bytes, golden);
+#endif
+}
+
+TEST(CampaignService, IdleWorkersStealFromLoadedShards) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const auto spec = make_spec("steal", 12);
+  // Asymmetric load: the first shard's half is slow, the second's is
+  // instant, so the fast worker goes idle while the slow shard still
+  // holds unstarted indices -- the steal window.
+  const engine::ResilientScenario fn = [](int i,
+                                          const engine::CancelToken&) {
+    if (i < 6) std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    return scenario_metrics(i);
+  };
+  const std::string golden = reference_bytes(spec, fn);
+
+  campaign::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.chunk = 1;
+  cfg.heartbeat = std::chrono::milliseconds(5);
+  cfg.work_dir = tmp_dir("campaign-steal");
+  const auto result = campaign::run_campaign(spec, fn, cfg);
+  EXPECT_EQ(result.outcome, engine::RunOutcome::kClean);
+  EXPECT_GE(result.stats.steal_requests, 1);
+  EXPECT_GE(result.stats.stolen_indices, 1);
+  EXPECT_EQ(result.result_bytes, golden);
+#endif
+}
+
+TEST(CampaignService, ReusedWorkDirResumesInsteadOfRecomputing) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const auto spec = make_spec("resume", 10);
+  const std::string golden = reference_bytes(spec, plain_fn());
+  const std::string work = tmp_dir("campaign-resume");
+
+  // A previous incarnation journaled part of shard 0's range.
+  {
+    engine::SweepEngine eng({1});
+    engine::SweepJournal journal(work + "/shard-0.jsonl", spec.params, 10);
+    engine::ResilientConfig rcfg;
+    rcfg.base_seed = spec.base_seed;
+    ASSERT_EQ(engine::run_resilient_indices(eng, 10, {0, 1, 2}, plain_fn(),
+                                            &journal, rcfg)
+                  .ok,
+              3);
+  }
+
+  campaign::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.work_dir = work;
+  const auto result = campaign::run_campaign(spec, plain_fn(), cfg);
+  EXPECT_EQ(result.outcome, engine::RunOutcome::kClean);
+  EXPECT_EQ(result.stats.resumed, 3);
+  EXPECT_EQ(result.stats.executed, 7);
+  EXPECT_EQ(result.result_bytes, golden);
+#endif
+}
+
+TEST(CampaignService, DegradedAndBudgetOutcomesFollowTheExitCodeContract) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const engine::ResilientScenario fn = [](int i,
+                                          const engine::CancelToken&) {
+    if (i == 3) throw engine::PermanentError("injected permanent fault");
+    return scenario_metrics(i);
+  };
+
+  const auto spec = make_spec("degraded", 6);
+  campaign::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.work_dir = tmp_dir("campaign-degraded");
+  cfg.cache_dir = tmp_dir("campaign-degraded-cache");
+  const auto result = campaign::run_campaign(spec, fn, cfg);
+  EXPECT_EQ(result.outcome, engine::RunOutcome::kDegraded);
+  EXPECT_EQ(result.quarantined, 1);
+  EXPECT_EQ(result.exit_code(), fault::to_int(fault::ExitCode::kDegraded));
+  // Degraded runs are never published: re-querying is a miss.
+  campaign::ResultCache cache(cfg.cache_dir);
+  EXPECT_FALSE(cache
+                   .lookup(engine::campaign_hash(spec.params), spec.params)
+                   .has_value());
+
+  const engine::ResilientScenario all_fail =
+      [](int, const engine::CancelToken&) -> Json {
+    throw engine::PermanentError("injected permanent fault");
+  };
+  const auto bspec = make_spec("budget", 8);
+  campaign::ServiceConfig bcfg;
+  bcfg.workers = 2;
+  bcfg.chunk = 1;
+  bcfg.work_dir = tmp_dir("campaign-budget");
+  bcfg.resilient.failure_budget = 1;
+  bcfg.resilient.retry.max_attempts = 1;
+  const auto bresult = campaign::run_campaign(bspec, all_fail, bcfg);
+  EXPECT_EQ(bresult.outcome, engine::RunOutcome::kBudgetExceeded);
+  EXPECT_EQ(bresult.exit_code(),
+            fault::to_int(fault::ExitCode::kBudgetExceeded));
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+TEST(CampaignCache, RepeatQueryServesVerbatimBytesAndCountsOneHitPerScenario) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const int n = 9;
+  const auto spec = make_spec("cache", n);
+  campaign::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.work_dir = tmp_dir("campaign-cache-work");
+  cfg.cache_dir = tmp_dir("campaign-cache");
+
+  const auto first = campaign::run_campaign(spec, plain_fn(), cfg);
+  ASSERT_EQ(first.outcome, engine::RunOutcome::kClean);
+  ASSERT_FALSE(first.cache_hit);
+
+  // Second query: a different work dir proves nothing is recomputed.
+  campaign::ServiceConfig cfg2 = cfg;
+  cfg2.work_dir = tmp_dir("campaign-cache-work2");
+  const std::uint64_t hits_before = hit_count();
+  const auto second = campaign::run_campaign(spec, plain_fn(), cfg2);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.stats.executed, 0);
+  EXPECT_EQ(second.stats.workers_spawned, 0);
+  EXPECT_EQ(hit_count() - hits_before, static_cast<std::uint64_t>(n));
+
+  // Byte-identity, result and report both: the hit serves the populating
+  // run's artifacts verbatim.
+  EXPECT_EQ(second.result_bytes, first.result_bytes);
+  const std::string entry_dir = cfg.cache_dir + "/" + first.campaign;
+  EXPECT_EQ(second.cached_report_json, read_file(entry_dir + "/report.json"));
+  const auto report_pair = campaign::campaign_report(spec, cfg2, second);
+  EXPECT_EQ(report_pair.json, second.cached_report_json);
+  EXPECT_EQ(report_pair.markdown, read_file(entry_dir + "/report.md"));
+
+  // Per-scenario counts survive the round trip through cached bytes.
+  EXPECT_EQ(second.ok, n);
+  ASSERT_EQ(second.entries.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(second.entries[0].has_value());
+#endif
+}
+
+TEST(CampaignCache, TamperedEntryDegradesToAMissNotWrongBytes) {
+  const auto spec = make_spec("tamper", 4);
+  const std::uint64_t id = engine::campaign_hash(spec.params);
+  campaign::ResultCache cache(tmp_dir("campaign-tamper-cache"));
+  EXPECT_FALSE(cache.lookup(id, spec.params).has_value());
+
+  Json meta = Json::object();
+  meta.set("cache", "rr-campaign-cache").set("version", 1)
+      .set("campaign", engine::campaign_hex(id)).set("name", spec.name)
+      .set("scenarios", 4).set("params", spec.params).set("outcome", "clean");
+  ASSERT_TRUE(cache.publish(id, meta, "{}\n", "{}\n", "# r\n"));
+  ASSERT_TRUE(cache.lookup(id, spec.params).has_value());
+  // Racer publishing the same identity is idempotent.
+  EXPECT_TRUE(cache.publish(id, meta, "{}\n", "{}\n", "# r\n"));
+
+  // Different params under the same hash slot: identity mismatch => miss.
+  EXPECT_FALSE(
+      cache.lookup(id, campaign_params("something-else")).has_value());
+
+  // Corrupt the meta: unreadable entries are misses, never wrong bytes.
+  ASSERT_TRUE(
+      write_file_atomic(cache.entry_dir(id) + "/meta.json", "not json"));
+  EXPECT_FALSE(cache.lookup(id, spec.params).has_value());
+}
+
+}  // namespace
+}  // namespace rr

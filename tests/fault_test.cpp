@@ -574,5 +574,32 @@ TEST(Taxonomy, BackoffMatchesReliableChannelTimeline) {
         << losses;
 }
 
+TEST(Taxonomy, ExitCodeContractIsStable) {
+  // The process exit-code contract (fault/taxonomy.hpp, README): these
+  // values are wired into CI scripts and must never drift.
+  EXPECT_EQ(to_int(ExitCode::kClean), 0);
+  EXPECT_EQ(to_int(ExitCode::kError), 1);
+  EXPECT_EQ(to_int(ExitCode::kUsage), 2);
+  EXPECT_EQ(to_int(ExitCode::kDegraded), 3);
+  EXPECT_EQ(to_int(ExitCode::kBudgetExceeded), 4);
+  EXPECT_EQ(to_int(ExitCode::kCrash), 137);
+
+  EXPECT_STREQ(describe(ExitCode::kClean), "clean");
+  EXPECT_STREQ(describe(ExitCode::kDegraded), "degraded");
+  EXPECT_STREQ(describe(ExitCode::kBudgetExceeded),
+               "failure-budget-exceeded");
+  EXPECT_STREQ(describe(ExitCode::kCrash), "crash-hook");
+
+  for (const ExitCode c :
+       {ExitCode::kClean, ExitCode::kError, ExitCode::kUsage,
+        ExitCode::kDegraded, ExitCode::kBudgetExceeded, ExitCode::kCrash}) {
+    const auto back = exit_code_from_int(to_int(c));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(exit_code_from_int(5).has_value());
+  EXPECT_FALSE(exit_code_from_int(-1).has_value());
+}
+
 }  // namespace
 }  // namespace rr::fault
