@@ -77,6 +77,46 @@ Bandwidth FabricModel::large_message_bandwidth(topo::NodeId src, topo::NodeId ds
   return achieved_bandwidth(n, t);
 }
 
+int FabricModel::min_cross_cu_hops(int cu_a, int cu_b) const {
+  const topo::TopologyParams& p = topo_->params();
+  RR_EXPECTS(cu_a >= 0 && cu_a < p.cu_count && cu_b >= 0 && cu_b < p.cu_count);
+  RR_EXPECTS(cu_a != cu_b);
+  // One representative node per lower crossbar is exhaustive: the
+  // deterministic route is a function of (src lower xbar, dst lower xbar)
+  // only, never of the port within the crossbar.
+  const auto reps = [&](int cu) {
+    std::vector<topo::NodeId> out;
+    for (int j = 0; j < p.lower_xbars_per_cu; ++j) {
+      const topo::Crossbar& x = topo_->crossbar(topo_->cu_lower_id(cu, j));
+      if (!x.compute_nodes.empty()) {
+        out.push_back(topo::NodeId{x.compute_nodes.front()});
+      }
+    }
+    return out;
+  };
+  int best = -1;
+  for (const topo::NodeId s : reps(cu_a)) {
+    for (const topo::NodeId d : reps(cu_b)) {
+      const int h = topo_->hop_count(s, d);
+      if (best < 0 || h < best) best = h;
+    }
+  }
+  RR_ENSURES(best > 0);
+  return best;
+}
+
+sim::PartitionGraph FabricModel::cu_partition_graph() const {
+  const int cus = topo_->cu_count();
+  sim::PartitionGraph g(cus);
+  for (int a = 0; a < cus; ++a) {
+    for (int b = 0; b < cus; ++b) {
+      if (a == b) continue;
+      g.set_link(a, b, base_ + per_hop_ * min_cross_cu_hops(a, b));
+    }
+  }
+  return g;
+}
+
 Bandwidth FabricModel::average_bandwidth(topo::NodeId src, DataSize n,
                                          bool pinned) const {
   double sum = 0.0;

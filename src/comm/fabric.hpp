@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "comm/channel.hpp"
+#include "sim/parallel_simulator.hpp"
 #include "topo/topology.hpp"
 
 namespace rr::comm {
@@ -37,6 +38,22 @@ class FabricModel {
 
   /// Mean large-message bandwidth from `src` to every other node.
   Bandwidth average_bandwidth(topo::NodeId src, DataSize n, bool pinned) const;
+
+  /// Minimum crossbar hops between any node in CU `cu_a` and any node in
+  /// CU `cu_b` under the deterministic routing.  Exact: a route depends
+  /// only on the endpoints' lower crossbars, so sampling one node per
+  /// crossbar covers every pair.  Cross-CU routes always traverse at
+  /// least the two CU switches plus an inter-CU crossbar, so this is
+  /// >= 5 for cu_a != cu_b (Table I).
+  int min_cross_cu_hops(int cu_a, int cu_b) const;
+
+  /// Logical-process graph for the parallel conservative engine
+  /// (sim::ParallelSimulator): one partition per CU, directed link
+  /// latency = the smallest zero-byte MPI latency between the two CUs
+  /// (software base + per-hop latency x min_cross_cu_hops).  Strictly
+  /// positive by construction -- this is the lookahead that lets the
+  /// window protocol make progress.
+  sim::PartitionGraph cu_partition_graph() const;
 
   const topo::Topology& topology() const { return *topo_; }
 

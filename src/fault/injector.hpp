@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -13,23 +14,42 @@
 #include "sim/interrupt.hpp"
 #include "sim/simulator.hpp"
 #include "topo/degraded.hpp"
+#include "util/expect.hpp"
 
 namespace rr::fault {
 
-/// Replays a failure schedule as DES events.
-class FaultInjector {
+/// Replays a failure schedule as DES events.  Parameterized over the
+/// clock it schedules on: anything with the serial Simulator's implicit
+/// surface (now / schedule_at / cancel) works, which is what lets the
+/// resilience studies run unchanged on one partition of the parallel
+/// engine (sim::ParallelSimulator::Partition).
+template <class SimT>
+class BasicFaultInjector {
  public:
-  FaultInjector(sim::Simulator& sim, std::vector<FailureEvent> schedule);
+  BasicFaultInjector(SimT& sim, std::vector<FailureEvent> schedule)
+      : sim_(sim), schedule_(std::move(schedule)) {}
 
   /// Schedule every event; `on_failure` fires at each event's time.
-  void arm(std::function<void(const FailureEvent&)> on_failure);
+  void arm(std::function<void(const FailureEvent&)> on_failure) {
+    RR_EXPECTS(on_failure != nullptr);
+    const auto shared =
+        std::make_shared<std::function<void(const FailureEvent&)>>(
+            std::move(on_failure));
+    for (const FailureEvent& ev : schedule_) {
+      sim_.schedule_at(TimePoint::origin() + ev.at,
+                       [shared, ev] { (*shared)(ev); });
+    }
+  }
 
   const std::vector<FailureEvent>& schedule() const { return schedule_; }
 
  private:
-  sim::Simulator& sim_;
+  SimT& sim_;
   std::vector<FailureEvent> schedule_;
 };
+
+/// The historical serial-engine spelling, used throughout the studies.
+using FaultInjector = BasicFaultInjector<sim::Simulator>;
 
 /// Apply one failure event to the degraded-fabric overlay.  kCrossbar
 /// event indices are CU-level crossbar ids (the id layout puts all

@@ -1,0 +1,388 @@
+#include "sim/parallel_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "sweep_engine/thread_pool.hpp"
+
+namespace rr::sim {
+
+namespace {
+
+// The partition whose execute_window() is running on this thread, if any.
+// Lets schedule/cancel/send distinguish "called from one of my own
+// callbacks" (legal, keyed off the executing event) from "called from a
+// foreign partition's callback" (a race and a determinism bug -- rejected).
+thread_local ParallelSimulator::Partition* t_executing = nullptr;
+
+constexpr std::int64_t kMaxPs = std::numeric_limits<std::int64_t>::max();
+
+std::uint64_t make_id(std::uint32_t generation, std::uint32_t slot) {
+  return (static_cast<std::uint64_t>(generation) << 32) | slot;
+}
+std::uint32_t slot_of(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+std::uint32_t generation_of(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------------
+
+std::uint64_t ParallelSimulator::Partition::schedule(Duration delay,
+                                                     std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t ParallelSimulator::Partition::schedule_at(
+    TimePoint when, std::function<void()> fn) {
+  RR_EXPECTS(when >= now_);
+  Key key;
+  key.at = when.ps();
+  if (t_executing == this) {
+    // Scheduled by the event currently executing here: ordered after the
+    // parent (2*gid+1 once the gid exists), FIFO by call index.
+    key.pref = kLocalRefBit | exec_ordinal_;
+    key.child = call_index_++;
+  } else {
+    // Root: only legal between runs, from the coordinating thread.
+    RR_EXPECTS(t_executing == nullptr && !engine_->running_);
+    key.pref = 2 * engine_->next_gid_;
+    key.child = engine_->next_root_rank_++;
+  }
+  return schedule_keyed(key.at, key, std::move(fn));
+}
+
+void ParallelSimulator::Partition::cancel(std::uint64_t id) {
+  RR_EXPECTS(t_executing == this ||
+             (t_executing == nullptr && !engine_->running_));
+  const std::uint32_t si = slot_of(id);
+  if (si >= pool_.size()) return;
+  Slot& s = pool_[si];
+  if (!s.in_use || s.generation != generation_of(id) || s.cancelled) return;
+  s.cancelled = true;
+  s.fn = nullptr;  // release captured state now, not at pop time
+  ++tombstones_;
+  --live_;
+  if (tombstones_ > live_ && heap_.size() > kCompactionFloor) compact();
+}
+
+void ParallelSimulator::Partition::send(int dst, Duration delay,
+                                        std::function<void()> fn) {
+  RR_EXPECTS(t_executing == this);
+  RR_EXPECTS(dst >= 0 && dst < engine_->partitions() && dst != index_);
+  RR_EXPECTS(engine_->graph_.has_link(index_, dst));
+  RR_EXPECTS(delay.ps() >= engine_->graph_.min_delay_ps(index_, dst));
+  OutMsg m;
+  m.dst = dst;
+  m.at_ps = now_.ps() + delay.ps();
+  RR_EXPECTS(m.at_ps < kMaxPs);  // kMaxPs is the engine's idle sentinel
+  m.sender_ordinal = exec_ordinal_;
+  m.child = call_index_++;  // same counter as schedule: one FIFO per parent
+  m.fn = std::move(fn);
+  outbox_.push_back(std::move(m));
+}
+
+std::uint64_t ParallelSimulator::Partition::schedule_keyed(
+    std::int64_t at_ps, Key key, std::function<void()> fn) {
+  RR_EXPECTS(at_ps < kMaxPs);  // kMaxPs is the engine's idle sentinel
+  const std::uint32_t si = acquire_slot();
+  Slot& s = pool_[si];
+  s.cancelled = false;
+  s.fn = std::move(fn);
+  heap_push(HeapItem{key, si});
+  ++live_;
+  return make_id(s.generation, si);
+}
+
+std::uint32_t ParallelSimulator::Partition::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t si = free_head_;
+    free_head_ = pool_[si].next_free;
+    pool_[si].in_use = true;
+    return si;
+  }
+  pool_.emplace_back();
+  pool_.back().in_use = true;
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void ParallelSimulator::Partition::release_slot(std::uint32_t si) {
+  Slot& s = pool_[si];
+  ++s.generation;  // invalidates every outstanding id for this slot
+  s.in_use = false;
+  s.cancelled = false;
+  s.fn = nullptr;
+  s.next_free = free_head_;
+  free_head_ = si;
+}
+
+void ParallelSimulator::Partition::heap_push(HeapItem item) {
+  heap_.push_back(item);
+  std::push_heap(
+      heap_.begin(), heap_.end(),
+      [this](const HeapItem& a, const HeapItem& b) { return before(b, a); });
+}
+
+ParallelSimulator::Partition::HeapItem
+ParallelSimulator::Partition::heap_pop_top() {
+  std::pop_heap(
+      heap_.begin(), heap_.end(),
+      [this](const HeapItem& a, const HeapItem& b) { return before(b, a); });
+  const HeapItem top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+void ParallelSimulator::Partition::compact() {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const HeapItem item = heap_[i];
+    if (pool_[item.slot].cancelled) {
+      ++cancelled_run_;
+      --tombstones_;
+      release_slot(item.slot);
+    } else {
+      heap_[out++] = item;
+    }
+  }
+  heap_.resize(out);
+  std::make_heap(
+      heap_.begin(), heap_.end(),
+      [this](const HeapItem& a, const HeapItem& b) { return before(b, a); });
+}
+
+void ParallelSimulator::Partition::sweep_tombstones_at_top() {
+  while (!heap_.empty() && pool_[heap_[0].slot].cancelled) {
+    const HeapItem top = heap_pop_top();
+    ++cancelled_run_;
+    --tombstones_;
+    release_slot(top.slot);
+  }
+}
+
+std::int64_t ParallelSimulator::Partition::next_event_ps() {
+  sweep_tombstones_at_top();
+  return heap_.empty() ? kMaxPs : heap_[0].key.at;
+}
+
+void ParallelSimulator::Partition::execute_window(std::int64_t bound_ps) {
+  t_executing = this;
+  executing_ = true;
+  for (;;) {
+    sweep_tombstones_at_top();
+    if (heap_.empty() || heap_[0].key.at >= bound_ps) break;
+    const HeapItem top = heap_pop_top();
+    Slot& s = pool_[top.slot];
+    RR_ASSERT(top.key.at >= now_.ps());
+    now_ = TimePoint::from_ps(top.key.at);
+    exec_ordinal_ = events_run_;
+    ++events_run_;
+    call_index_ = 0;
+    --live_;
+    window_keys_.push_back(top.key);
+    std::function<void()> fn = std::move(s.fn);
+    // Release before running, exactly like the serial engine: the callback
+    // may schedule (growing the pool) and a self-cancel must be a no-op.
+    release_slot(top.slot);
+    fn();
+  }
+  executing_ = false;
+  t_executing = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelSimulator
+// ---------------------------------------------------------------------------
+
+ParallelSimulator::ParallelSimulator(PartitionGraph graph, int threads)
+    : graph_(std::move(graph)) {
+  for (int s = 0; s < graph_.partitions(); ++s) {
+    for (int d = 0; d < graph_.partitions(); ++d) {
+      if (s != d && graph_.has_link(s, d) && graph_.min_delay_ps(s, d) <= 0) {
+        throw std::invalid_argument(
+            "ParallelSimulator: cross-partition link " + std::to_string(s) +
+            "->" + std::to_string(d) +
+            " has non-positive minimum latency; conservative synchronization "
+            "needs strictly positive lookahead on every link (a zero-latency "
+            "link would deadlock the window protocol)");
+      }
+    }
+  }
+  lookahead_ps_ = graph_.lookahead_ps();
+  parts_.resize(static_cast<std::size_t>(graph_.partitions()));
+  for (int i = 0; i < graph_.partitions(); ++i) {
+    parts_[static_cast<std::size_t>(i)].engine_ = this;
+    parts_[static_cast<std::size_t>(i)].index_ = i;
+  }
+  pool_ = std::make_unique<engine::ThreadPool>(threads);
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+void ParallelSimulator::run() {
+  RR_EXPECTS(!running_);
+  running_ = true;
+  while (run_window(kMaxPs)) {
+  }
+  running_ = false;
+}
+
+void ParallelSimulator::run_until(TimePoint deadline) {
+  RR_EXPECTS(!running_);
+  running_ = true;
+  while (run_window(deadline.ps())) {
+  }
+  for (Partition& p : parts_) {
+    if (p.now_ < deadline) p.now_ = deadline;
+  }
+  running_ = false;
+}
+
+bool ParallelSimulator::run_window(std::int64_t deadline_ps) {
+  std::int64_t t_min = kMaxPs;
+  for (Partition& p : parts_) t_min = std::min(t_min, p.next_event_ps());
+  if (t_min == kMaxPs || t_min > deadline_ps) return false;
+
+  // bound = T_min + L, saturating; events strictly below it are safe
+  // everywhere because any message still in flight arrives at >= bound.
+  std::int64_t bound = kMaxPs;
+  if (lookahead_ps_ != PartitionGraph::kNoLink &&
+      t_min <= kMaxPs - lookahead_ps_) {
+    bound = t_min + lookahead_ps_;
+  }
+  if (deadline_ps < kMaxPs) bound = std::min(bound, deadline_ps + 1);
+
+  ++stats_.windows;
+  // The window bound broadcast is the protocol's null message: one per
+  // partition per round.
+  stats_.null_messages += static_cast<std::uint64_t>(partitions());
+  for (Partition& p : parts_) {
+    // next_event_ps() swept tombstones above, so a live partition's heap
+    // top is its true next event.
+    if (p.live_ > 0 && p.heap_[0].key.at >= bound) ++stats_.lookahead_stalls;
+  }
+
+  const auto errors = pool_->for_each_index(partitions(), [&](int i) {
+    parts_[static_cast<std::size_t>(i)].execute_window(bound);
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  merge_window();
+  deliver_outboxes();
+  stats_.events_run = events_run();
+  stats_.cancelled_run = cancelled_run();
+  return true;
+}
+
+void ParallelSimulator::merge_window() {
+  // K-way merge of the per-partition window streams in key order.  Every
+  // stream is already sorted (execute_window pops in key order), and by
+  // the time a record reaches its stream head its parent has been merged,
+  // so resolve() is final for every comparison made here.
+  merge_heap_.clear();
+  for (int p = 0; p < partitions(); ++p) {
+    if (!parts_[static_cast<std::size_t>(p)].window_keys_.empty()) {
+      merge_heap_.push_back(MergeCursor{p, 0});
+    }
+  }
+  const auto after = [this](const MergeCursor& a, const MergeCursor& b) {
+    const Partition& pa = parts_[static_cast<std::size_t>(a.partition)];
+    const Partition& pb = parts_[static_cast<std::size_t>(b.partition)];
+    const Partition::Key& ka = pa.window_keys_[a.pos];
+    const Partition::Key& kb = pb.window_keys_[b.pos];
+    if (ka.at != kb.at) return ka.at > kb.at;
+    const std::uint64_t ra = pa.resolve(ka.pref);
+    const std::uint64_t rb = pb.resolve(kb.pref);
+    if (ra != rb) return ra > rb;
+    return ka.child > kb.child;
+  };
+  std::make_heap(merge_heap_.begin(), merge_heap_.end(), after);
+  while (!merge_heap_.empty()) {
+    std::pop_heap(merge_heap_.begin(), merge_heap_.end(), after);
+    MergeCursor c = merge_heap_.back();
+    merge_heap_.pop_back();
+    Partition& part = parts_[static_cast<std::size_t>(c.partition)];
+    const Partition::Key& k = part.window_keys_[c.pos];
+    part.gids_.push_back(next_gid_++);
+    if (log_enabled_) {
+      log_.push_back(LogEntry{k.at, c.partition,
+                              static_cast<std::uint64_t>(part.gids_.size() - 1)});
+    }
+    ++c.pos;
+    if (c.pos < part.window_keys_.size()) {
+      merge_heap_.push_back(c);
+      std::push_heap(merge_heap_.begin(), merge_heap_.end(), after);
+    }
+  }
+}
+
+void ParallelSimulator::deliver_outboxes() {
+  for (Partition& src : parts_) {
+    for (Partition::OutMsg& m : src.outbox_) {
+      RR_ASSERT(m.sender_ordinal < src.gids_.size());
+      Partition& dst = parts_[static_cast<std::size_t>(m.dst)];
+      Partition::Key key;
+      key.at = m.at_ps;
+      key.pref = 2 * src.gids_[m.sender_ordinal] + 1;
+      key.child = m.child;
+      dst.schedule_keyed(m.at_ps, key, std::move(m.fn));
+      ++stats_.cross_messages;
+    }
+    src.outbox_.clear();
+    src.window_keys_.clear();
+  }
+}
+
+TimePoint ParallelSimulator::now() const {
+  TimePoint t = TimePoint::origin();
+  for (const Partition& p : parts_) t = std::max(t, p.now_);
+  return t;
+}
+
+std::uint64_t ParallelSimulator::events_run() const {
+  std::uint64_t n = 0;
+  for (const Partition& p : parts_) n += p.events_run_;
+  return n;
+}
+
+std::uint64_t ParallelSimulator::cancelled_run() const {
+  std::uint64_t n = 0;
+  for (const Partition& p : parts_) n += p.cancelled_run_;
+  return n;
+}
+
+std::size_t ParallelSimulator::pending() const {
+  std::size_t n = 0;
+  for (const Partition& p : parts_) n += p.live_;
+  return n;
+}
+
+int ParallelSimulator::threads() const { return pool_->size(); }
+
+void ParallelSimulator::export_metrics(obs::MetricsRegistry& reg,
+                                       const std::string& prefix) const {
+  reg.gauge(prefix + ".windows").set(static_cast<double>(stats_.windows));
+  reg.gauge(prefix + ".null_messages")
+      .set(static_cast<double>(stats_.null_messages));
+  reg.gauge(prefix + ".lookahead_stalls")
+      .set(static_cast<double>(stats_.lookahead_stalls));
+  reg.gauge(prefix + ".cross_messages")
+      .set(static_cast<double>(stats_.cross_messages));
+  reg.gauge(prefix + ".events_run").set(static_cast<double>(events_run()));
+  reg.gauge(prefix + ".cancelled_run")
+      .set(static_cast<double>(cancelled_run()));
+  reg.gauge(prefix + ".pending").set(static_cast<double>(pending()));
+  reg.gauge(prefix + ".partitions").set(static_cast<double>(partitions()));
+  reg.gauge(prefix + ".threads").set(static_cast<double>(threads()));
+}
+
+}  // namespace rr::sim

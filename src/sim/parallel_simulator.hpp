@@ -1,0 +1,371 @@
+// Partitioned conservative parallel DES engine (DESIGN.md §12).
+//
+// The model graph is split into P logical processes ("partitions" -- one
+// per Roadrunner CU in the intended use).  Each partition owns a private
+// event queue with the same generational-pool/tombstone design as the
+// serial sim::Simulator, and the partitions execute in parallel on the
+// sweep-engine thread pool under a conservative time-window protocol:
+//
+//   window k:  bound = T_min + L      (T_min = earliest pending event
+//                                      anywhere, L = global lookahead =
+//                                      the minimum cross-partition link
+//                                      latency, strictly positive)
+//              every partition executes its events with time < bound;
+//              cross-partition messages are buffered, never delivered
+//              mid-window (they arrive at >= bound by the lookahead
+//              argument, so no partition can miss one);
+//   barrier:   the window's executed events are merged into the global
+//              total order, buffered messages are delivered, repeat.
+//
+// The headline contract is *bit-identical event ordering versus the
+// serial Simulator*: the merged execution order equals the serial
+// engine's (time, insertion-seq) order exactly, at any thread count.
+// That works because the serial tie-break is reproducible from causal
+// information alone.  Two same-time events fire in the order they were
+// scheduled; schedule calls happen either before run() ("roots", ordered
+// by call rank) or inside a parent event's callback (ordered by the
+// parent's own firing position, then by call index within the callback).
+// So each event carries the key
+//
+//     (time, parent-ordinal, call-index)
+//
+// where parent-ordinal is 2*G for a root scheduled after G events had
+// fired (pre-run roots: G = 0) and 2*gid(parent)+1 for a scheduled-from-
+// callback event, gid being the parent's rank in the global execution
+// order.  Lexicographic order on that key *is* the serial order (proved
+// inductively in DESIGN.md §12; tested exhaustively by
+// tests/des_diff_test.cpp).  Parents that fired in the current window do
+// not have a gid yet -- their children store the parent's partition-local
+// execution ordinal instead, which resolves to a provisional value above
+// every assigned gid; the barrier merge assigns gids in key order, and
+// the provisional->final flip is monotone, so heap invariants survive it
+// without re-sorting.
+//
+// Null messages vs windows: a classic CMB engine lets partitions run
+// ahead under per-link clocks, which allows two *same-time* events to be
+// committed at different barriers -- and then no online gid assignment
+// can match the serial tie-break (see DESIGN.md §12 for the
+// counterexample).  The global window keeps strict time separation
+// between windows, which is exactly what makes deterministic total-order
+// merging possible; the per-window bound exchange plays the role of a
+// null-message broadcast and is counted as such in the stats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace rr::obs {
+class MetricsRegistry;
+}
+
+namespace rr::engine {
+class ThreadPool;
+}
+
+namespace rr::sim {
+
+/// Static description of the logical-process graph: how many partitions,
+/// and the minimum latency of every directed cross-partition link.
+/// `kNoLink` marks pairs that never exchange messages.  Every real link
+/// must have strictly positive minimum latency -- the engine's lookahead
+/// is the minimum over all links, and a zero-lookahead graph cannot make
+/// conservative progress (it would deadlock), so it is rejected at
+/// construction with std::invalid_argument.
+struct PartitionGraph {
+  static constexpr std::int64_t kNoLink =
+      std::numeric_limits<std::int64_t>::max();
+
+  explicit PartitionGraph(int partitions = 1)
+      : partitions_(partitions),
+        min_delay_ps_(static_cast<std::size_t>(partitions) *
+                          static_cast<std::size_t>(partitions),
+                      kNoLink) {
+    RR_EXPECTS(partitions >= 1);
+  }
+
+  int partitions() const { return partitions_; }
+
+  /// Declare (or tighten) a directed link src -> dst with minimum
+  /// message latency `min_delay`.
+  void set_link(int src, int dst, Duration min_delay) {
+    RR_EXPECTS(src >= 0 && src < partitions_ && dst >= 0 && dst < partitions_);
+    RR_EXPECTS(src != dst);
+    min_delay_ps_[index(src, dst)] = min_delay.ps();
+  }
+
+  /// Declare every directed pair with the same minimum latency.
+  void set_all_links(Duration min_delay) {
+    for (int s = 0; s < partitions_; ++s)
+      for (int d = 0; d < partitions_; ++d)
+        if (s != d) set_link(s, d, min_delay);
+  }
+
+  bool has_link(int src, int dst) const {
+    return min_delay_ps_[index(src, dst)] != kNoLink;
+  }
+  std::int64_t min_delay_ps(int src, int dst) const {
+    return min_delay_ps_[index(src, dst)];
+  }
+
+  /// Global lookahead: the minimum latency over all declared links, or
+  /// kNoLink when the graph has no cross links at all (then every event
+  /// is safe and the run completes in a single window).
+  std::int64_t lookahead_ps() const {
+    std::int64_t l = kNoLink;
+    for (const std::int64_t d : min_delay_ps_)
+      if (d < l) l = d;
+    return l;
+  }
+
+ private:
+  std::size_t index(int src, int dst) const {
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(partitions_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int partitions_;
+  std::vector<std::int64_t> min_delay_ps_;  // partitions x partitions
+};
+
+/// Counters the engine maintains per run() (all simulated-work facts, so
+/// they are bit-identical across thread counts; see export_metrics()).
+struct ParallelSimStats {
+  std::uint64_t windows = 0;          ///< synchronization rounds executed
+  std::uint64_t null_messages = 0;    ///< per-window bound broadcasts (P per window)
+  std::uint64_t lookahead_stalls = 0; ///< (partition, window) pairs with work
+                                      ///< pending but nothing under the bound
+  std::uint64_t cross_messages = 0;   ///< cross-partition deliveries
+  std::uint64_t events_run = 0;       ///< callbacks executed, all partitions
+  std::uint64_t cancelled_run = 0;    ///< tombstones swept, all partitions
+};
+
+class ParallelSimulator {
+ public:
+  /// `threads == 0` picks hardware concurrency (the thread pool's rule).
+  /// Throws std::invalid_argument if any declared link has min latency
+  /// <= 0: zero lookahead cannot be simulated conservatively.
+  explicit ParallelSimulator(PartitionGraph graph, int threads = 0);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  /// One logical process.  Mirrors the serial sim::Simulator surface
+  /// (now / schedule / schedule_at / cancel), so model code written
+  /// against that implicit interface runs unchanged on a partition; the
+  /// only addition is send(), the cross-partition edge.
+  class Partition {
+   public:
+    /// This partition's local clock: the time of the event currently
+    /// executing, or (between runs) the global horizon reached.
+    TimePoint now() const { return now_; }
+
+    /// Schedule `fn` on this partition `delay` after now().  Callable
+    /// from this partition's own callbacks, or from outside run().
+    std::uint64_t schedule(Duration delay, std::function<void()> fn);
+
+    /// Schedule at an absolute time (must not be in the local past).
+    std::uint64_t schedule_at(TimePoint when, std::function<void()> fn);
+
+    /// O(1) cancel of a pending event previously scheduled on THIS
+    /// partition.  Cancelling a fired or never-issued id is a no-op
+    /// exactly like the serial engine.  Ids are partition-local: passing
+    /// an id issued by a *different* partition may alias a live local
+    /// event and is a contract violation.
+    void cancel(std::uint64_t id);
+
+    /// Cross-partition message: run `fn` on partition `dst` at
+    /// now() + delay.  Only callable from inside one of this
+    /// partition's callbacks; `delay` must respect the declared link
+    /// (delay >= min_delay(src, dst)), which is what gives the engine
+    /// its lookahead.
+    void send(int dst, Duration delay, std::function<void()> fn);
+
+    int index() const { return index_; }
+
+    std::size_t pending() const { return live_; }
+    std::uint64_t events_run() const { return events_run_; }
+
+   private:
+    friend class ParallelSimulator;
+
+    struct Slot {
+      std::function<void()> fn;
+      std::uint32_t generation = 1;
+      std::uint32_t next_free = 0;
+      bool in_use = false;
+      bool cancelled = false;
+    };
+
+    /// Ordering key.  `pref` packs the parent reference: bit 63 set
+    /// means "partition-local parent ordinal, gid not assigned yet";
+    /// otherwise the value is the fully resolved parent ordinal
+    /// (2*G for roots, 2*gid+1 for executed parents).
+    struct Key {
+      std::int64_t at = 0;       ///< firing time, ps
+      std::uint64_t pref = 0;    ///< packed parent reference
+      std::uint32_t child = 0;   ///< call index within parent / root rank
+    };
+    struct HeapItem {
+      Key key;
+      std::uint32_t slot = 0;
+    };
+
+    static constexpr std::uint64_t kLocalRefBit = 1ull << 63;
+    static constexpr std::uint64_t kProvisionalBase = 1ull << 62;
+    static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+    static constexpr std::size_t kCompactionFloor = 64;
+
+    /// Resolve a packed parent reference to a totally ordered value.
+    /// Local ordinals whose gid is known resolve to 2*gid+1 (< 2^62);
+    /// ordinals from the window in flight resolve provisionally above
+    /// every assignable gid.  The provisional -> final flip at the
+    /// barrier is monotone w.r.t. every other live key, so heap order
+    /// survives it (DESIGN.md §12).
+    std::uint64_t resolve(std::uint64_t pref) const {
+      if ((pref & kLocalRefBit) == 0) return pref;
+      const std::uint64_t ordinal = pref & ~kLocalRefBit;
+      if (ordinal < gids_.size()) return 2 * gids_[ordinal] + 1;
+      return kProvisionalBase + ordinal;
+    }
+    bool before(const HeapItem& a, const HeapItem& b) const {
+      if (a.key.at != b.key.at) return a.key.at < b.key.at;
+      const std::uint64_t ra = resolve(a.key.pref);
+      const std::uint64_t rb = resolve(b.key.pref);
+      if (ra != rb) return ra < rb;
+      return a.key.child < b.key.child;
+    }
+
+    std::uint64_t schedule_keyed(std::int64_t at_ps, Key key,
+                                 std::function<void()> fn);
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t si);
+    void heap_push(HeapItem item);
+    HeapItem heap_pop_top();
+    void sweep_tombstones_at_top();
+    void compact();
+    /// Earliest live event time, or kNoLink if the partition is idle.
+    std::int64_t next_event_ps();
+    /// Execute every local event with time < bound_ps in key order.
+    void execute_window(std::int64_t bound_ps);
+
+    ParallelSimulator* engine_ = nullptr;
+    int index_ = -1;
+    TimePoint now_ = TimePoint::origin();
+    bool executing_ = false;      ///< inside execute_window (worker-owned)
+    std::uint64_t exec_ordinal_ = 0;  ///< local ordinal of the running event
+    std::uint32_t call_index_ = 0;    ///< schedule/send calls it made so far
+
+    std::vector<Slot> pool_;
+    std::vector<HeapItem> heap_;
+    std::uint32_t free_head_ = kNoFreeSlot;
+    std::size_t live_ = 0;
+    std::size_t tombstones_ = 0;
+    std::uint64_t events_run_ = 0;
+    std::uint64_t cancelled_run_ = 0;
+
+    /// Local execution ordinal -> global gid, appended at each barrier
+    /// merge.  Read by this partition's worker during windows, written
+    /// only by the coordinator between windows (the pool barrier
+    /// provides the happens-before edge).
+    std::vector<std::uint64_t> gids_;
+
+    /// This window's executed events, in local key order: their keys
+    /// (for the merge) and their firing times (for the optional log).
+    std::vector<Key> window_keys_;
+
+    struct OutMsg {
+      int dst = -1;
+      std::int64_t at_ps = 0;
+      std::uint64_t sender_ordinal = 0;  ///< local ordinal of the sender
+      std::uint32_t child = 0;
+      std::function<void()> fn;
+    };
+    std::vector<OutMsg> outbox_;
+  };
+
+  int partitions() const { return static_cast<int>(parts_.size()); }
+  Partition& partition(int i) {
+    RR_EXPECTS(i >= 0 && i < partitions());
+    return parts_[static_cast<std::size_t>(i)];
+  }
+  const Partition& partition(int i) const {
+    RR_EXPECTS(i >= 0 && i < partitions());
+    return parts_[static_cast<std::size_t>(i)];
+  }
+
+  /// Run until every partition drains.  Callable repeatedly; events
+  /// scheduled between runs are ordered after everything already fired,
+  /// exactly like the serial engine.
+  void run();
+
+  /// Run until simulated time would exceed `deadline`; events at exactly
+  /// `deadline` still fire, and every partition's clock is advanced to
+  /// `deadline` on return if it drained earlier.
+  void run_until(TimePoint deadline);
+
+  /// Global clock: the latest time any partition has reached.
+  TimePoint now() const;
+
+  /// Record the merged global execution order (one entry per event, in
+  /// gid order).  Off by default; the differential harness turns it on.
+  void set_log_enabled(bool on) { log_enabled_ = on; }
+  struct LogEntry {
+    std::int64_t at_ps = 0;
+    std::int32_t partition = 0;
+    std::uint64_t local_ordinal = 0;  ///< partition-local execution index
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+  /// Callbacks executed across all partitions.
+  std::uint64_t events_run() const;
+  /// Tombstones disposed of across all partitions.
+  std::uint64_t cancelled_run() const;
+  std::size_t pending() const;
+
+  const ParallelSimStats& stats() const { return stats_; }
+  const PartitionGraph& graph() const { return graph_; }
+  int threads() const;
+
+  /// Publish the run's synchronization counters as gauges under
+  /// `<prefix>.*` (windows, null_messages, lookahead_stalls,
+  /// cross_messages, events, cancelled).
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "parsim") const;
+
+ private:
+  /// One synchronization round: compute the bound, execute the window on
+  /// the pool, merge, deliver.  Returns false when nothing is pending.
+  bool run_window(std::int64_t deadline_ps);
+  void merge_window();
+  void deliver_outboxes();
+
+  PartitionGraph graph_;
+  std::int64_t lookahead_ps_ = 0;
+  std::vector<Partition> parts_;
+  std::unique_ptr<engine::ThreadPool> pool_;
+  bool running_ = false;
+  std::uint64_t next_gid_ = 0;
+  std::uint32_t next_root_rank_ = 0;
+  bool log_enabled_ = false;
+  std::vector<LogEntry> log_;
+  ParallelSimStats stats_;
+
+  // Merge scratch (kept across windows to avoid reallocation).
+  struct MergeCursor {
+    int partition = 0;
+    std::size_t pos = 0;
+  };
+  std::vector<MergeCursor> merge_heap_;
+};
+
+}  // namespace rr::sim

@@ -91,6 +91,12 @@ class Topology {
     return attachments_[n.v];
   }
 
+  /// Owning CU of a compute node: the natural partition map for the
+  /// parallel conservative engine (one logical process per CU).  Total
+  /// and single-valued: every node maps to exactly one CU in
+  /// [0, cu_count()).
+  int cu_of(NodeId n) const { return attachment(n).cu; }
+
   /// Crossbar ids for the levels (for tests / inspection).
   int cu_lower_id(int cu, int j) const;
   int cu_upper_id(int cu, int u) const;

@@ -1,0 +1,364 @@
+// Differential fuzz harness for the DES engines (ISSUE 7 / DESIGN.md §12).
+//
+// Each seed derives a workload -- partition count, lookahead, root
+// timers, and a behavior tree of local timers, cancels, cross-partition
+// messages, and cancel+re-arm "interrupt" patterns -- and replays it
+// through three engines:
+//
+//   * sim::ReferenceSimulator  (the pre-rebuild linear-scan oracle)
+//   * sim::Simulator           (the serial tombstone heap)
+//   * sim::ParallelSimulator   at 1, 2, 4, and 8 threads
+//
+// asserting bit-identical event order (time AND marker, in global
+// execution order), final per-partition state hashes, executed-event
+// counts, and final clocks.  Every decision the workload makes is a pure
+// function of (seed, event marker), never of wall-clock, thread
+// interleaving, or shared mutable RNG state -- so any divergence is an
+// engine-ordering bug, not harness noise.  The failing seed is printed
+// so the exact workload replays under a debugger.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/parallel_simulator.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using rr::Duration;
+using rr::TimePoint;
+using rr::splitmix64;
+
+// Pure hash of (a, b): the only randomness source in the workload.
+std::uint64_t hash2(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b * 0x9e3779b97f4a7c15ULL) ^ 0x5851f42d4c957f2dULL;
+  return splitmix64(s);
+}
+
+// Marker of the k-th schedule/send call made by event `m`'s callback.
+std::uint64_t child_marker(std::uint64_t m, int k) {
+  return hash2(m, 0xc0ffee00ULL + static_cast<std::uint64_t>(k));
+}
+
+struct Workload {
+  int partitions = 1;
+  int roots = 8;
+  int depth = 4;
+  std::int64_t lookahead_ps = 64;
+
+  static Workload from_seed(std::uint64_t seed) {
+    Workload w;
+    w.partitions = 1 + static_cast<int>(hash2(seed, 1) % 4);     // 1..4
+    w.roots = 12 + static_cast<int>(hash2(seed, 2) % 20);        // 12..31
+    w.depth = 3 + static_cast<int>(hash2(seed, 3) % 3);          // 3..5
+    // Small lookahead => many windows; large => few.  Stress both.
+    static constexpr std::int64_t kLookaheads[] = {1, 9, 64, 913};
+    w.lookahead_ps = kLookaheads[hash2(seed, 4) % 4];
+    return w;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Engine adapters.  The serial engines emulate P partitions on one shared
+// clock (a cross-partition send is just a schedule with the same absolute
+// firing time); the parallel adapter uses real partitions.  Every adapter
+// produces the run's event log in GLOBAL execution order.
+// ---------------------------------------------------------------------------
+
+struct LogRecord {
+  std::int64_t at_ps = 0;
+  std::uint64_t marker = 0;
+  bool operator==(const LogRecord&) const = default;
+};
+
+template <class SimT>
+class SharedClockAdapter {
+ public:
+  explicit SharedClockAdapter(const Workload&) {}
+
+  TimePoint now(int) const { return sim_.now(); }
+  std::uint64_t schedule(int, Duration d, std::function<void()> fn) {
+    return sim_.schedule(d, std::move(fn));
+  }
+  void send(int, int, Duration d, std::function<void()> fn) {
+    sim_.schedule(d, std::move(fn));
+  }
+  void cancel(int, std::uint64_t id) { sim_.cancel(id); }
+  void record(int, std::int64_t at_ps, std::uint64_t marker) {
+    log_.push_back(LogRecord{at_ps, marker});
+  }
+  void run() { sim_.run(); }
+  std::vector<LogRecord> ordered_log() const { return log_; }
+  std::uint64_t events_run() const { return sim_.events_run(); }
+  std::int64_t final_now_ps() const { return sim_.now().ps(); }
+
+ private:
+  SimT sim_;
+  std::vector<LogRecord> log_;
+};
+
+class ParallelAdapter {
+ public:
+  ParallelAdapter(const Workload& w, int threads)
+      : engine_(make_graph(w), threads), marks_(w.partitions) {
+    engine_.set_log_enabled(true);
+  }
+
+  TimePoint now(int part) const { return engine_.partition(part).now(); }
+  std::uint64_t schedule(int part, Duration d, std::function<void()> fn) {
+    return engine_.partition(part).schedule(d, std::move(fn));
+  }
+  void send(int src, int dst, Duration d, std::function<void()> fn) {
+    engine_.partition(src).send(dst, d, std::move(fn));
+  }
+  void cancel(int part, std::uint64_t id) {
+    engine_.partition(part).cancel(id);
+  }
+  void record(int part, std::int64_t, std::uint64_t marker) {
+    // Partition-local, single-threaded within a partition: safe.
+    marks_[static_cast<std::size_t>(part)].push_back(marker);
+  }
+  void run() { engine_.run(); }
+
+  /// Rebuild the global order from the engine's merged log: entry i is
+  /// the i-th event to commit globally, identified by (partition,
+  /// partition-local ordinal); the marker vector indexed by ordinal
+  /// supplies the payload identity.
+  std::vector<LogRecord> ordered_log() const {
+    std::vector<LogRecord> out;
+    out.reserve(engine_.log().size());
+    for (const auto& e : engine_.log()) {
+      const auto& pm = marks_[static_cast<std::size_t>(e.partition)];
+      EXPECT_LT(e.local_ordinal, pm.size());
+      if (e.local_ordinal >= pm.size()) break;
+      out.push_back(LogRecord{e.at_ps, pm[e.local_ordinal]});
+    }
+    return out;
+  }
+  std::uint64_t events_run() const { return engine_.events_run(); }
+  std::int64_t final_now_ps() const { return engine_.now().ps(); }
+  const rr::sim::ParallelSimStats& stats() const { return engine_.stats(); }
+
+ private:
+  static rr::sim::PartitionGraph make_graph(const Workload& w) {
+    rr::sim::PartitionGraph g(w.partitions);
+    g.set_all_links(Duration::picoseconds(w.lookahead_ps));
+    return g;
+  }
+
+  rr::sim::ParallelSimulator engine_;
+  std::vector<std::vector<std::uint64_t>> marks_;  // partition -> ordinal -> marker
+};
+
+// ---------------------------------------------------------------------------
+// The workload driver: identical behavior against any adapter.
+// ---------------------------------------------------------------------------
+
+template <class Adapter>
+class Driver {
+ public:
+  Driver(std::uint64_t seed, const Workload& w, Adapter& ad)
+      : seed_(seed), w_(w), ad_(ad), parts_(w.partitions) {}
+
+  void schedule_roots() {
+    // One global round-robin pass: the cross-engine contract requires
+    // roots to be issued in the same global order everywhere.
+    for (int r = 0; r < w_.roots; ++r) {
+      const int part = r % w_.partitions;
+      const std::uint64_t m = hash2(seed_, 0xb007ULL + r);
+      const std::uint64_t h = hash2(seed_, m);
+      schedule_local(part, Duration::picoseconds(static_cast<std::int64_t>(h % 997)),
+                     m, w_.depth);
+    }
+  }
+
+  void run() { ad_.run(); }
+
+  std::uint64_t state_hash() const {
+    std::uint64_t acc = 0x12345678ULL;
+    for (const PartState& p : parts_) acc = hash2(acc, p.state);
+    return acc;
+  }
+
+ private:
+  struct PartState {
+    std::uint64_t state = 0;
+    std::vector<std::uint64_t> issued;  // markers of cancellable events
+    std::unordered_map<std::uint64_t, std::uint64_t> ids;  // marker -> id
+  };
+
+  void schedule_local(int part, Duration d, std::uint64_t m, int depth) {
+    const std::uint64_t id = ad_.schedule(
+        part, d, [this, part, m, depth] { on_event(part, m, depth); });
+    PartState& st = parts_[static_cast<std::size_t>(part)];
+    st.issued.push_back(m);
+    st.ids[m] = id;
+  }
+
+  void on_event(int part, std::uint64_t m, int depth) {
+    PartState& st = parts_[static_cast<std::size_t>(part)];
+    const std::int64_t now_ps = ad_.now(part).ps();
+    ad_.record(part, now_ps, m);
+    st.state = hash2(st.state ^ m, static_cast<std::uint64_t>(now_ps));
+
+    const std::uint64_t h = hash2(seed_, m ^ 0xabcdefULL);
+    if (depth > 0) {
+      // 0..2 local children, including zero-delay ones (same-time
+      // ordering is exactly what the tie-break key must reproduce).
+      const int kids = static_cast<int>(h % 3);
+      for (int k = 0; k < kids; ++k) {
+        const std::uint64_t cm = child_marker(m, k);
+        const std::uint64_t hk = hash2(seed_, cm);
+        schedule_local(part,
+                       Duration::picoseconds(static_cast<std::int64_t>(hk % 120)),
+                       cm, depth - 1);
+      }
+      // Cross-partition message; delay >= lookahead by construction.
+      if (w_.partitions > 1 && ((h >> 8) & 3) == 0) {
+        int dst = static_cast<int>((h >> 16) %
+                                   static_cast<std::uint64_t>(w_.partitions - 1));
+        if (dst >= part) ++dst;
+        const std::uint64_t cm = child_marker(m, 7);
+        const std::uint64_t hk = hash2(seed_, cm);
+        ad_.send(part, dst,
+                 Duration::picoseconds(w_.lookahead_ps +
+                                       static_cast<std::int64_t>(hk % 257)),
+                 [this, dst, cm, depth] { on_event(dst, cm, depth - 1); });
+      }
+    }
+    // Cancel an arbitrary earlier local timer (may already have fired or
+    // been cancelled -- a no-op then, in every engine).
+    if (((h >> 24) % 3) == 0 && !st.issued.empty()) {
+      const std::uint64_t victim = st.issued[(h >> 32) % st.issued.size()];
+      ad_.cancel(part, st.ids[victim]);
+      st.state = hash2(st.state, victim);
+    }
+    // Interrupt pattern: kill a pending timer and immediately re-arm a
+    // replacement (watchdog re-arm), possibly at zero delay.
+    if (((h >> 40) % 5) == 0 && depth > 0 && !st.issued.empty()) {
+      const std::uint64_t victim = st.issued[(h >> 48) % st.issued.size()];
+      ad_.cancel(part, st.ids[victim]);
+      const std::uint64_t cm = child_marker(m, 9);
+      const std::uint64_t hk = hash2(seed_, cm);
+      schedule_local(part,
+                     Duration::picoseconds(static_cast<std::int64_t>(hk % 64)),
+                     cm, depth - 1);
+    }
+  }
+
+  std::uint64_t seed_;
+  Workload w_;
+  Adapter& ad_;
+  std::vector<PartState> parts_;
+};
+
+struct EngineResult {
+  std::vector<LogRecord> log;
+  std::uint64_t state_hash = 0;
+  std::uint64_t events_run = 0;
+  std::int64_t final_now_ps = 0;
+};
+
+template <class Adapter, class... CtorArgs>
+EngineResult replay(std::uint64_t seed, const Workload& w, CtorArgs&&... args) {
+  Adapter ad(w, std::forward<CtorArgs>(args)...);
+  Driver<Adapter> drv(seed, w, ad);
+  drv.schedule_roots();
+  drv.run();
+  EngineResult r;
+  r.log = ad.ordered_log();
+  r.state_hash = drv.state_hash();
+  r.events_run = ad.events_run();
+  r.final_now_ps = ad.final_now_ps();
+  return r;
+}
+
+void expect_identical(const EngineResult& want, const EngineResult& got,
+                      std::uint64_t seed, const char* engine) {
+  ASSERT_EQ(want.events_run, got.events_run)
+      << engine << " diverged on events_run; replay with seed=" << seed;
+  ASSERT_EQ(want.log.size(), got.log.size())
+      << engine << " diverged on log length; replay with seed=" << seed;
+  for (std::size_t i = 0; i < want.log.size(); ++i) {
+    ASSERT_EQ(want.log[i].at_ps, got.log[i].at_ps)
+        << engine << " diverged at event " << i
+        << " (time); replay with seed=" << seed;
+    ASSERT_EQ(want.log[i].marker, got.log[i].marker)
+        << engine << " diverged at event " << i
+        << " (order); replay with seed=" << seed;
+  }
+  ASSERT_EQ(want.state_hash, got.state_hash)
+      << engine << " diverged on final state; replay with seed=" << seed;
+  ASSERT_EQ(want.final_now_ps, got.final_now_ps)
+      << engine << " diverged on final clock; replay with seed=" << seed;
+}
+
+using RefAdapter = SharedClockAdapter<rr::sim::ReferenceSimulator>;
+using SerialAdapter = SharedClockAdapter<rr::sim::Simulator>;
+
+class DesDiff : public ::testing::TestWithParam<int> {};
+
+TEST_P(DesDiff, AllEnginesBitIdentical) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Workload w = Workload::from_seed(seed);
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << seed << " partitions=" << w.partitions
+               << " roots=" << w.roots << " depth=" << w.depth
+               << " lookahead_ps=" << w.lookahead_ps);
+
+  const EngineResult ref = replay<RefAdapter>(seed, w);
+  ASSERT_GT(ref.events_run, 0u);
+
+  const EngineResult serial = replay<SerialAdapter>(seed, w);
+  expect_identical(ref, serial, seed, "serial Simulator");
+
+  for (const int threads : {1, 2, 4, 8}) {
+    const EngineResult par = replay<ParallelAdapter>(seed, w, threads);
+    expect_identical(serial, par, seed,
+                     threads == 1   ? "parallel@1"
+                     : threads == 2 ? "parallel@2"
+                     : threads == 4 ? "parallel@4"
+                                    : "parallel@8");
+  }
+}
+
+// >= 200 seeded workloads (acceptance floor for the corpus).
+INSTANTIATE_TEST_SUITE_P(Corpus, DesDiff, ::testing::Range(0, 200));
+
+// The synchronization counters are simulated-work facts, so they must be
+// identical at every thread count, not merely the event order.
+TEST(DesDiffStats, WindowCountersIndependentOfThreads) {
+  const std::uint64_t seed = 424242;
+  Workload w = Workload::from_seed(seed);
+  w.partitions = 4;
+  w.lookahead_ps = 9;
+
+  std::vector<rr::sim::ParallelSimStats> stats;
+  for (const int threads : {1, 2, 4, 8}) {
+    ParallelAdapter ad(w, threads);
+    Driver<ParallelAdapter> drv(seed, w, ad);
+    drv.schedule_roots();
+    drv.run();
+    stats.push_back(ad.stats());
+  }
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[0].windows, stats[i].windows);
+    EXPECT_EQ(stats[0].null_messages, stats[i].null_messages);
+    EXPECT_EQ(stats[0].lookahead_stalls, stats[i].lookahead_stalls);
+    EXPECT_EQ(stats[0].cross_messages, stats[i].cross_messages);
+    EXPECT_EQ(stats[0].events_run, stats[i].events_run);
+    EXPECT_EQ(stats[0].cancelled_run, stats[i].cancelled_run);
+  }
+  EXPECT_GT(stats[0].windows, 1u);
+  EXPECT_GT(stats[0].cross_messages, 0u);
+}
+
+}  // namespace
