@@ -44,9 +44,38 @@ inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 bool write_frame(int fd, const Json& msg);
 
 /// Blocking read of one frame.  nullopt on clean EOF at a frame boundary;
-/// throws std::runtime_error on a truncated frame, an oversized length
-/// prefix, or unparseable payload.
+/// throws std::runtime_error with a diagnostic on anything hostile or
+/// damaged: a truncated frame, a zero-length or oversized length prefix,
+/// payload bytes that are not valid UTF-8, or unparseable JSON.  The
+/// caller treats a throw as a corrupt stream, not a message -- it never
+/// crashes on one (DESIGN.md §13).
 std::optional<Json> read_frame(int fd);
+
+/// True when `bytes` is well-formed UTF-8 (rejects overlong encodings,
+/// surrogates, and values beyond U+10FFFF).  Frames are JSON, and our
+/// writer only emits valid UTF-8, so anything else on the wire is
+/// damage or hostility.
+bool valid_utf8(std::string_view bytes);
+
+/// The message vocabulary, one enumerator per "t" value.
+enum class MsgType {
+  kHello,
+  kProgress,
+  kReleased,
+  kDone,  // worker -> coordinator
+  kRun,
+  kSteal,
+  kStop,  // coordinator -> worker
+};
+
+const char* to_string(MsgType t);
+std::optional<MsgType> msg_type_from_string(std::string_view s);
+
+/// The validated type of a received frame.  Throws std::runtime_error
+/// when the frame is not an object, has no "t" field, "t" is not a
+/// string, or names no known message -- the reject-with-diagnostic path
+/// for a hostile or desynced peer.
+MsgType frame_type(const Json& msg);
 
 /// Half-open index interval [lo, hi), the unit of shard assignment.
 struct IndexRange {
@@ -57,9 +86,13 @@ struct IndexRange {
   friend bool operator==(const IndexRange&, const IndexRange&) = default;
 };
 
-/// [[lo,hi],...] <-> vector<IndexRange>.
+/// [[lo,hi],...] <-> vector<IndexRange>.  Decoding validates shape and
+/// bounds: every element must be a two-number array with
+/// 0 <= lo <= hi, and, when `max_index >= 0`, hi <= max_index -- a
+/// frame assigning indices outside the campaign is rejected with a
+/// diagnostic, never acted on.
 Json ranges_to_json(const std::vector<IndexRange>& ranges);
-std::vector<IndexRange> ranges_from_json(const Json& j);
+std::vector<IndexRange> ranges_from_json(const Json& j, int max_index = -1);
 
 /// Total index count across ranges.
 int range_count(const std::vector<IndexRange>& ranges);

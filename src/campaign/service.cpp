@@ -122,11 +122,17 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
       if (pr > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
         const std::optional<Json> msg = read_frame(fd);
         if (!msg) break;  // coordinator went away; nothing left to report to
-        const std::string& t = msg->at("t").as_string();
-        if (t == "run") {
-          for (const IndexRange& r : ranges_from_json(msg->at("ranges")))
+        const MsgType t = frame_type(*msg);  // throws on garbage: the
+                                             // catch below exits kError
+                                             // and the coordinator respawns
+        if (t == MsgType::kRun) {
+          // Bounds-checked decode: an assignment outside the campaign's
+          // index space is a desynced or hostile stream, rejected before
+          // any index is acted on.
+          for (const IndexRange& r :
+               ranges_from_json(msg->at("ranges"), spec.scenarios))
             for (int i = r.lo; i < r.hi; ++i) owned.push_back(i);
-        } else if (t == "steal") {
+        } else if (t == MsgType::kSteal) {
           // Give back ~half of the unstarted remainder, from the tail, but
           // never go below one chunk -- a near-empty shard is not worth
           // splitting.
@@ -143,7 +149,7 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
           rel.set("t", "released").set("shard", shard)
               .set("ranges", ranges_to_json(ranges_from_sorted_indices(give)));
           if (!write_frame(fd, rel)) break;
-        } else if (t == "stop") {
+        } else if (t == MsgType::kStop) {
           stopping = true;
         }
         continue;  // keep draining frames before running more work
@@ -413,13 +419,22 @@ class Coordinator {
     return ranges_from_sorted_indices(idx);
   }
 
+  /// Apply one worker frame.  Throws std::runtime_error on a frame that
+  /// is shaped wrong or claims indices outside the campaign -- the
+  /// caller (poll_once / finish_exit) treats that as a corrupt stream
+  /// and retires the worker; a hostile child cannot crash or corrupt
+  /// the coordinator.
   void handle_frame(WorkerState& w, const Json& msg) {
     last_frame_ = Clock::now();
-    const std::string& t = msg.at("t").as_string();
-    if (t == "progress") {
+    const MsgType t = frame_type(msg);
+    if (t == MsgType::kProgress) {
       for (const Json& pair : msg.at("completed").as_array()) {
         const int i = static_cast<int>(pair.at(std::size_t{0}).as_int());
-        RR_EXPECTS(i >= 0 && i < n_);
+        if (i < 0 || i >= n_)
+          throw std::runtime_error("progress frame claims scenario " +
+                                   std::to_string(i) +
+                                   " outside campaign of " +
+                                   std::to_string(n_));
         if (!done_[static_cast<std::size_t>(i)]) {
           done_[static_cast<std::size_t>(i)] = 1;
           ++done_count_;
@@ -435,10 +450,10 @@ class Coordinator {
       if (msg.at("outcome").as_string() ==
           engine::to_string(engine::RunOutcome::kBudgetExceeded))
         abort = true;
-    } else if (t == "released") {
+    } else if (t == MsgType::kReleased) {
       w.steal_outstanding = false;
       int granted = 0;
-      for (const IndexRange& r : ranges_from_json(msg.at("ranges"))) {
+      for (const IndexRange& r : ranges_from_json(msg.at("ranges"), n_)) {
         for (int i = r.lo; i < r.hi; ++i) {
           auto& bit = w.owned[static_cast<std::size_t>(i)];
           if (!bit) continue;
@@ -454,7 +469,7 @@ class Coordinator {
         ++stats.steals_granted;
         stats.stolen_indices += granted;
       }
-    } else if (t == "done") {
+    } else if (t == MsgType::kDone) {
       w.done_seen = true;
       if (msg.at("outcome").as_string() ==
           engine::to_string(engine::RunOutcome::kBudgetExceeded))
@@ -533,7 +548,11 @@ class Coordinator {
         }
       } catch (const std::exception& e) {
         RR_WARN("campaign: shard " << w.shard << " stream error ("
-                                   << e.what() << ")");
+                                   << e.what() << "); retiring worker");
+        // The child may still be alive and writing garbage; handle_exit
+        // blocks in waitpid, so kill first or a live corrupting worker
+        // would hang the coordinator.
+        if (w.pid > 0) ::kill(w.pid, SIGKILL);
         handle_exit(w);
       }
     }
@@ -704,19 +723,27 @@ std::string entries_bytes(
   return os.str();
 }
 
+/// Build a result from a verified cache hit.  The entry's bytes were read
+/// and content-hash-validated during lookup, so no filesystem access
+/// happens here; a structurally damaged result line still throws, and the
+/// caller falls back to recomputing (miss semantics).
 CampaignResult serve_from_cache(const CampaignSpec& spec,
                                 const CacheEntry& hit) {
   CampaignResult result;
   result.cache_hit = true;
   result.campaign = engine::campaign_hex(engine::campaign_hash(spec.params));
-  result.result_bytes = read_file(hit.result_path);
-  result.cached_report_json = read_file(hit.report_path);
-  result.cached_report_md = read_file(hit.dir + "/report.md");
+  result.result_bytes = hit.result_bytes;
+  result.cached_report_json = hit.report_json;
+  result.cached_report_md = hit.report_md;
   result.entries.assign(static_cast<std::size_t>(spec.scenarios),
                         std::nullopt);
   for (const Json& rec : read_jsonl(result.result_bytes).records) {
     const engine::JournalEntry e = engine::journal_entry_from_json(rec);
-    RR_EXPECTS(e.index >= 0 && e.index < spec.scenarios);
+    if (e.index < 0 || e.index >= spec.scenarios)
+      throw std::runtime_error("cached entry index " +
+                               std::to_string(e.index) +
+                               " outside campaign of " +
+                               std::to_string(spec.scenarios));
     result.entries[static_cast<std::size_t>(e.index)] = e;
   }
   fill_counts(result);
@@ -797,8 +824,17 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::optional<ResultCache> cache;
   if (!cfg.cache_dir.empty()) {
     cache.emplace(cfg.cache_dir);
-    if (const auto hit = cache->lookup(campaign, spec.params))
-      return serve_from_cache(spec, *hit);
+    if (const auto hit = cache->lookup(campaign, spec.params)) {
+      try {
+        return serve_from_cache(spec, *hit);
+      } catch (const std::exception& e) {
+        obs::MetricsRegistry::global()
+            .counter("campaign.cache.corrupt")
+            .inc();
+        RR_WARN("campaign cache: entry " << hit->dir << " unusable ("
+                                         << e.what() << "); recomputing");
+      }
+    }
     metrics().cache_miss.inc();
   }
 
@@ -810,9 +846,14 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   }
 
   RR_EXPECTS(!cfg.work_dir.empty());
-  if (!make_dirs(cfg.work_dir))
-    throw std::runtime_error("campaign: cannot create work dir " +
-                             cfg.work_dir);
+  IoError dir_err;
+  if (!make_dirs(cfg.work_dir, &dir_err)) {
+    // Degrade, don't die: with no work dir the shard journals fall back
+    // to memory-only (and report the run as degraded), but every
+    // scenario still executes.
+    RR_ERROR("campaign: " << dir_err.detail
+                          << "; continuing without durable journals");
+  }
 
   if (cfg.workers == 0) {
     run_in_process(spec, fn, cfg, result);

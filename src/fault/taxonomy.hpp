@@ -9,6 +9,7 @@
 // edge.
 #pragma once
 
+#include <cerrno>
 #include <optional>
 #include <string_view>
 
@@ -40,6 +41,37 @@ constexpr std::optional<ErrorClass> error_class_from_string(
   if (s == "permanent") return ErrorClass::kPermanent;
   if (s == "poison") return ErrorClass::kPoison;
   return std::nullopt;
+}
+
+/// Classify a failed syscall's errno for the I/O retry loops (journal
+/// append, cache publish).  Transient errors are worth a bounded retry:
+/// interruptions, momentary resource exhaustion a reaped fd or freed
+/// buffer can relieve, and EIO, which on flaky media is famously
+/// intermittent.  Hard environmental states (disk full, quota, read-only
+/// mount) and anything permission- or existence-shaped retry to the same
+/// answer, so they classify permanent and the caller degrades instead.
+/// Unknown errnos default to permanent: guessing "retry" at a failure we
+/// cannot name just delays the degradation the caller must do anyway.
+constexpr ErrorClass classify_errno(int errnum) {
+  switch (errnum) {
+    case EINTR:
+    case EAGAIN:
+    case EIO:
+    case EMFILE:
+    case ENFILE:
+    case EBUSY:
+    case ENOMEM:
+      return ErrorClass::kTransient;
+    case ENOSPC:
+    case EDQUOT:
+    case EROFS:
+    case EACCES:
+    case EPERM:
+    case ENOENT:
+      return ErrorClass::kPermanent;
+    default:
+      return ErrorClass::kPermanent;
+  }
 }
 
 /// Process exit-code contract shared by every sweep/campaign binary.

@@ -6,6 +6,7 @@
 
 #include "obs/export.hpp"
 #include "util/fileio.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 
 namespace rr::obs {
@@ -125,8 +126,18 @@ std::string RunReport::markdown_path_for(const std::string& json_path) {
 }
 
 bool RunReport::write(const std::string& json_path) const {
-  if (!write_file_atomic(json_path, to_json().dump(2) + "\n")) return false;
-  return write_file_atomic(markdown_path_for(json_path), to_markdown());
+  // A report is an artifact about the run, never a reason to kill it:
+  // failures are logged with the errno diagnostic and reported as false.
+  IoError err;
+  if (!write_file_atomic(json_path, to_json().dump(2) + "\n", &err)) {
+    RR_WARN("run report: " << err.detail << "; report not written");
+    return false;
+  }
+  if (!write_file_atomic(markdown_path_for(json_path), to_markdown(), &err)) {
+    RR_WARN("run report: " << err.detail << "; markdown sibling not written");
+    return false;
+  }
+  return true;
 }
 
 }  // namespace rr::obs

@@ -53,7 +53,9 @@ class RunReport {
 
   /// Atomically write `<json_path>` and its Markdown sibling (json_path
   /// with a ".md" suffix replacing a trailing ".json", else appended).
-  /// Returns false on I/O failure.
+  /// Returns false on I/O failure (logged with the errno diagnostic);
+  /// never throws -- a report failure must not kill the run it reports
+  /// on (DESIGN.md §13).
   bool write(const std::string& json_path) const;
 
   static std::string markdown_path_for(const std::string& json_path);

@@ -10,19 +10,33 @@
 // interrupted append can do, since each record is a single O_APPEND
 // write(2) -- is detected on open and truncated away.
 //
-// File layout (one JSON object per line):
+// File layout (one JSON object per line; every line carries a trailing
+// "c" field -- the FNV-1a 64 hash, in hex, of the record bytes before
+// the checksum was spliced in -- so *mid-file* bit rot is detected, not
+// just torn tails):
 //
-//   {"journal":"rr-sweep","version":1,"campaign":"<hex64>",
-//    "scenarios":N,"params":{...}}                          <- header
-//   {"index":3,"status":"ok","attempts":1,"seed":"123","metrics":{...}}
+//   {"journal":"rr-sweep","version":2,"campaign":"<hex64>",
+//    "scenarios":N,"params":{...},"c":"<hex16>"}            <- header
+//   {"index":3,"status":"ok","attempts":1,"seed":"123","metrics":{...},
+//    "c":"<hex16>"}
 //   {"index":0,"status":"quarantined","attempts":3,"seed":"45",
-//    "class":"transient","error":"..."}                     <- failures too
+//    "class":"transient","error":"...","c":"<hex16>"}       <- failures too
 //
 // The campaign id is a 64-bit FNV-1a hash of the compact params dump;
 // resuming with different parameters is refused rather than silently
 // mixing two campaigns in one file.
+//
+// Failure policy (DESIGN.md §13): mid-file corruption found while
+// *resuming* quarantines the poisoned file (renamed aside) and starts
+// fresh -- resuming from a corrupt prefix would silently drop work; the
+// *read-only* loaders fail closed with line/offset diagnostics instead.
+// Append I/O failures retry transient errnos on the shared backoff, then
+// degrade the journal to memory-only (`degraded()`), which the resilient
+// runner maps to ExitCode::kDegraded -- a full disk costs durability,
+// never the run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -59,6 +73,10 @@ struct JournalEntry {
 Json to_json(const JournalEntry& e);
 JournalEntry journal_entry_from_json(const Json& j);
 
+/// 64-bit FNV-1a over arbitrary bytes: the hash behind campaign ids,
+/// journal record checksums, and cache content validation.
+std::uint64_t fnv1a_hash(std::string_view bytes);
+
 /// 64-bit FNV-1a over the compact dump of `params`: the campaign identity.
 std::uint64_t campaign_hash(const Json& params);
 
@@ -70,7 +88,10 @@ std::string campaign_hex(std::uint64_t campaign);
 /// campaign (params) and scenario count exactly as resuming would --
 /// without creating, appending to, or truncating the file.  A missing or
 /// header-only file yields all-empty slots; a torn tail is tolerated
-/// (the partial record is ignored); a campaign/scenario mismatch throws.
+/// (the partial record is ignored); a campaign/scenario mismatch throws;
+/// mid-file corruption (bad JSON or a record-checksum mismatch before
+/// the tail) fails closed: it throws with the line and byte offset of
+/// the first bad record.
 std::vector<std::optional<JournalEntry>> read_journal_entries(
     const std::string& path, const Json& params, int scenarios);
 
@@ -79,17 +100,22 @@ std::vector<std::optional<JournalEntry>> read_journal_entries(
 /// sets; when two journals both carry an index (a respawn raced a
 /// takeover), the first path's record wins and a byte-level mismatch is
 /// logged -- deterministic scenarios make the records identical anyway.
-/// Missing files are skipped, so the caller can pass every path a
-/// coordinator might have used.
+/// Missing files are skipped, and a shard that fails to load (corrupt or
+/// unreadable) is skipped with a warning and counted in
+/// `journal.corrupt` -- its indices are simply recomputed -- so one bad
+/// shard cannot take down a merge.
 std::vector<std::optional<JournalEntry>> merge_journal_files(
     const std::vector<std::string>& paths, const Json& params, int scenarios);
 
 class SweepJournal {
  public:
   /// Create `path` (writing the header) or resume an existing journal.
-  /// Throws std::runtime_error on I/O failure, on a campaign/scenario
-  /// mismatch, or on mid-file corruption (torn tails are recovered, not
-  /// fatal).  Honors RR_CRASH_AFTER_N (see below).
+  /// Throws std::runtime_error on a campaign/scenario/version mismatch
+  /// (the contract).  Torn tails are recovered by truncation; mid-file
+  /// corruption quarantines the file (renamed to `path + ".corrupt"`)
+  /// and starts fresh (`quarantined()`); I/O failures opening or reading
+  /// the file degrade the journal to memory-only (`degraded()`) instead
+  /// of throwing.  Honors RR_CRASH_AFTER_N (see below).
   SweepJournal(std::string path, const Json& params, int scenarios);
   ~SweepJournal();
 
@@ -103,6 +129,14 @@ class SweepJournal {
   bool resumed() const { return resumed_; }
   /// True when a torn final line was truncated away on open.
   bool tail_recovered() const { return tail_recovered_; }
+  /// True when mid-file corruption forced the poisoned file aside
+  /// (renamed to `path() + ".corrupt"`) and this journal started fresh.
+  bool quarantined() const { return quarantined_; }
+  /// True once durability has been lost: the file could not be opened,
+  /// read, or appended to after retries.  Entries are still tracked in
+  /// memory so the run completes, but the run must report no better than
+  /// fault::ExitCode::kDegraded -- nothing survives a crash any more.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   bool completed(int index) const;
   std::size_t completed_count() const;
@@ -112,9 +146,14 @@ class SweepJournal {
   std::vector<JournalEntry> entries() const;
 
   /// Durably append one completed scenario: a single write(2) of the
-  /// record line into the O_APPEND fd, then fdatasync.  Thread-safe.
-  /// Throws std::runtime_error on I/O failure or on an out-of-range /
+  /// checksummed record line into the O_APPEND fd, then fdatasync.
+  /// Thread-safe.  Throws std::runtime_error on an out-of-range /
   /// duplicate index (the run protocol never journals an index twice).
+  /// I/O failures never throw: transient errnos retry on the shared
+  /// backoff (counting `io.fault.retried`), a partial write is truncated
+  /// away before the retry so the file stays parseable, and a permanent
+  /// failure or exhausted retry degrades the journal to memory-only
+  /// (counting `io.fault.degraded`).
   void append(const JournalEntry& e);
 
   /// Crash hook for kill-and-resume testing: after the Nth successful
@@ -127,11 +166,16 @@ class SweepJournal {
   static constexpr int kCrashExitCode = fault::to_int(fault::ExitCode::kCrash);
 
  private:
+  /// Enter memory-only mode: close the fd, log `why`, count the event.
+  void degrade(const std::string& why);
+
   std::string path_;
   int scenarios_ = 0;
   std::uint64_t campaign_ = 0;
   bool resumed_ = false;
   bool tail_recovered_ = false;
+  bool quarantined_ = false;
+  std::atomic<bool> degraded_{false};
   int fd_ = -1;
 
   mutable std::mutex mu_;

@@ -34,6 +34,7 @@ struct SweepMetrics {
   obs::Counter& quarantined;
   obs::Counter& budget_aborts;
   obs::Counter& resume_hits;
+  obs::Counter& seed_rejects;
   obs::Histogram& backoff_us;
 
   static SweepMetrics& instance() {
@@ -44,6 +45,7 @@ struct SweepMetrics {
                           reg.counter("sweep.quarantined"),
                           reg.counter("sweep.budget_aborts"),
                           reg.counter("journal.resume_hits"),
+                          reg.counter("journal.seed_rejects"),
                           reg.histogram("sweep.backoff_us",
                                         obs::latency_bounds_us())};
     return m;
@@ -154,6 +156,18 @@ ResilientReport run_resilient_indices(SweepEngine& eng, int n,
     for (int i = 0; i < n; ++i) {
       auto e = journal->entry(i);
       if (!e) continue;
+      if (e->seed != seed_of(i)) {
+        // A checksummed record with the wrong derived seed is not bit
+        // rot -- it was journaled under a different seeding scheme.
+        // Serving its metrics would break the determinism contract, so
+        // the scenario is recomputed instead.
+        sm.seed_rejects.inc();
+        RR_WARN("journal " << journal->path() << ": index " << i
+                           << " journaled with seed " << e->seed
+                           << " but the campaign derives " << seed_of(i)
+                           << "; recomputing");
+        continue;
+      }
       report.entries[static_cast<std::size_t>(i)] = std::move(e);
       sm.resume_hits.inc();
       if (!report.entries[static_cast<std::size_t>(i)]->ok())
@@ -313,6 +327,13 @@ ResilientReport run_resilient_indices(SweepEngine& eng, int n,
     sm.budget_aborts.inc();
   } else if (report.timed_out + report.quarantined > 0) {
     report.outcome = RunOutcome::kDegraded;
+  } else if (journal && journal->degraded()) {
+    // Every scenario ran, but the journal lost durability along the way:
+    // the results are complete in memory yet nothing would survive a
+    // crash, so the run must not report clean (DESIGN.md §13).
+    report.outcome = RunOutcome::kDegraded;
+    RR_WARN("run degraded: journal " << journal->path()
+                                     << " fell back to memory-only");
   } else {
     report.outcome = RunOutcome::kClean;
   }

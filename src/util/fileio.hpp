@@ -12,6 +12,9 @@
 // read_jsonl() is the matching reader: it parses every complete line and
 // treats an unterminated or unparseable *last* line as a torn tail
 // (recovered, reported), while corruption anywhere earlier still throws.
+// All of these route their syscalls through util::Env::current()
+// (env.hpp), so a chaos environment can inject the failures each caller
+// must survive.
 #pragma once
 
 #include <string>
@@ -22,14 +25,30 @@
 
 namespace rr {
 
+/// Where and why an I/O operation failed.  `errnum` is the errno at the
+/// point of failure (0 if the failure had no errno, e.g. a short read of
+/// a file that shrank); `detail` is a human-readable
+/// "op path: strerror(errno)" string ready for logs and exceptions.
+struct IoError {
+  int errnum = 0;
+  std::string detail;
+};
+
+/// "`op` `path`: strerror(`errnum`) (errno `errnum`)" -- the one format
+/// every I/O diagnostic in the codebase uses.
+std::string format_io_error(std::string_view op, std::string_view path,
+                            int errnum);
+
 /// Atomically replace `path` with `content` (temp file + fsync + rename
 /// within the same directory).  Returns false on any I/O failure; the
-/// previous file, if any, is untouched in that case.
-bool write_file_atomic(const std::string& path, std::string_view content);
+/// previous file, if any, is untouched in that case.  When `err` is
+/// non-null it receives the errno and diagnostic of the first failure.
+bool write_file_atomic(const std::string& path, std::string_view content,
+                       IoError* err = nullptr);
 
 /// mkdir -p: create `path` and any missing parents.  Returns true when
 /// the directory exists afterwards (including when it already did).
-bool make_dirs(const std::string& path);
+bool make_dirs(const std::string& path, IoError* err = nullptr);
 
 /// Advisory whole-file lock (flock LOCK_EX) held for the object's
 /// lifetime; creates the lock file if needed and blocks until acquired.
@@ -54,8 +73,9 @@ class FileLock {
 };
 
 /// Append `line` plus '\n' to `fd` as a single write(2), then fdatasync.
-/// Returns false on failure.  `line` must not contain '\n'.
-bool append_line_fsync(int fd, std::string_view line);
+/// Returns false on failure (errno + diagnostic in `err` when non-null).
+/// `line` must not contain '\n'.
+bool append_line_fsync(int fd, std::string_view line, IoError* err = nullptr);
 
 struct JsonlData {
   std::vector<Json> records;   ///< one per complete, parseable line
@@ -75,7 +95,8 @@ JsonlData read_jsonl(std::string_view text);
 /// file cannot be read.
 JsonlData read_jsonl_file(const std::string& path);
 
-/// Entire file as a string; throws std::runtime_error on failure.
+/// Entire file as a string; throws std::runtime_error with the errno,
+/// strerror text, and offending path on failure.
 std::string read_file(const std::string& path);
 
 }  // namespace rr

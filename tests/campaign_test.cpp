@@ -137,6 +137,120 @@ TEST(CampaignProtocol, TruncatedFrameAndOversizeLengthThrow) {
   ::close(fds[0]);
 }
 
+namespace {
+
+/// Push raw bytes through a pipe and read them back as one frame.
+/// Returns the frame, or rethrows read_frame's rejection.
+std::optional<Json> frame_from_bytes(const std::string& bytes) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  EXPECT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(fds[1]);
+  try {
+    const auto msg = campaign::read_frame(fds[0]);
+    ::close(fds[0]);
+    return msg;
+  } catch (...) {
+    ::close(fds[0]);
+    throw;
+  }
+}
+
+/// 4-byte big-endian length prefix + payload.
+std::string framed(std::string_view payload, std::uint32_t claim) {
+  std::string out;
+  out.push_back(static_cast<char>((claim >> 24) & 0xff));
+  out.push_back(static_cast<char>((claim >> 16) & 0xff));
+  out.push_back(static_cast<char>((claim >> 8) & 0xff));
+  out.push_back(static_cast<char>(claim & 0xff));
+  out.append(payload);
+  return out;
+}
+
+std::string framed(std::string_view payload) {
+  return framed(payload, static_cast<std::uint32_t>(payload.size()));
+}
+
+}  // namespace
+
+// Hostile-input defenses (DESIGN.md §13): every malformed frame is
+// rejected with a diagnostic -- never a crash, never a hang, never an
+// acted-on garbage message.
+TEST(CampaignProtocol, HostileFramesAreRejectedWithDiagnostics) {
+  // Zero-length frame: no JSON document is empty.
+  EXPECT_THROW(frame_from_bytes(framed("")), std::runtime_error);
+  // Length prefix beyond the frame cap (a desynced or hostile stream).
+  EXPECT_THROW(frame_from_bytes(framed("{}", campaign::kMaxFrameBytes + 1)),
+               std::runtime_error);
+  // Truncated payload: promises 64 bytes, delivers 4.
+  EXPECT_THROW(frame_from_bytes(framed("{\"t\"", 64)), std::runtime_error);
+  // Invalid UTF-8 payload bytes, rejected before the JSON parser runs:
+  // a bare continuation byte, an overlong "/" encoding, and a UTF-16
+  // surrogate half.
+  EXPECT_THROW(frame_from_bytes(framed("{\"t\":\"\x80\"}")),
+               std::runtime_error);
+  EXPECT_THROW(frame_from_bytes(framed("{\"t\":\"\xc0\xaf\"}")),
+               std::runtime_error);
+  EXPECT_THROW(frame_from_bytes(framed("{\"t\":\"\xed\xa0\x80\"}")),
+               std::runtime_error);
+  // Structurally valid UTF-8 that is not JSON.
+  EXPECT_THROW(frame_from_bytes(framed("not json at all")),
+               std::runtime_error);
+  // A well-formed frame still round-trips through the same reader.
+  const auto ok = frame_from_bytes(framed("{\"t\":\"stop\"}"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(campaign::frame_type(*ok), campaign::MsgType::kStop);
+}
+
+TEST(CampaignProtocol, UnknownAndMalformedMessageTypesThrow) {
+  EXPECT_THROW(campaign::frame_type(Json::array()), std::runtime_error);
+  EXPECT_THROW(campaign::frame_type(Json::object()), std::runtime_error);
+  Json wrong_kind = Json::object();
+  wrong_kind.set("t", 7);
+  EXPECT_THROW(campaign::frame_type(wrong_kind), std::runtime_error);
+  Json unknown = Json::object();
+  unknown.set("t", "self-destruct");
+  EXPECT_THROW(campaign::frame_type(unknown), std::runtime_error);
+  Json known = Json::object();
+  known.set("t", "progress");
+  EXPECT_EQ(campaign::frame_type(known), campaign::MsgType::kProgress);
+}
+
+TEST(CampaignProtocol, RangeDecodingValidatesShapeAndBounds) {
+  using campaign::ranges_from_json;
+  // Negative lower bound, inverted range, and an upper bound past the
+  // campaign's scenario count are all rejected before any index is used.
+  EXPECT_THROW(ranges_from_json(Json::parse("[[-1,2]]")), std::runtime_error);
+  EXPECT_THROW(ranges_from_json(Json::parse("[[5,2]]")), std::runtime_error);
+  EXPECT_THROW(ranges_from_json(Json::parse("[[0,9]]"), /*max_index=*/8),
+               std::runtime_error);
+  EXPECT_THROW(ranges_from_json(Json::parse("[[0]]")), std::runtime_error);
+  EXPECT_THROW(ranges_from_json(Json::parse("[7]")), std::runtime_error);
+  // In-bounds ranges decode; max_index is the scenario count, so a range
+  // covering the whole campaign is legal.
+  const auto ok = ranges_from_json(Json::parse("[[0,8]]"), 8);
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_EQ(ok[0], (campaign::IndexRange{0, 8}));
+}
+
+TEST(CampaignProtocol, RandomGarbageNeverCrashesTheReader) {
+  // Deterministic garbage streams: read_frame must either parse or
+  // throw; any crash or hang fails the test (and the suite's timeout).
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    std::string bytes;
+    const std::size_t n = 1 + rng.next_u64() % 48;
+    for (std::size_t i = 0; i < n; ++i)
+      bytes.push_back(static_cast<char>(rng.next_u64() & 0xff));
+    try {
+      (void)frame_from_bytes(bytes);
+    } catch (const std::exception& e) {
+      EXPECT_NE(std::string(e.what()), "") << "empty diagnostic";
+    }
+  }
+}
+
 TEST(CampaignProtocol, SortedIndicesCompressToMaximalRanges) {
   const auto r = campaign::ranges_from_sorted_indices({0, 1, 2, 5, 7, 8});
   ASSERT_EQ(r.size(), 3u);
