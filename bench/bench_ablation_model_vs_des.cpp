@@ -7,6 +7,7 @@
 // multiple buffering (Section VI.A).
 #include <iostream>
 
+#include "topo/fat_tree.hpp"
 #include "model/sim_validation.hpp"
 #include "util/table.hpp"
 
@@ -14,7 +15,7 @@ int main() {
   using namespace rr;
   topo::TopologyParams tp;
   tp.cu_count = 2;
-  const topo::Topology topo = topo::Topology::build(tp);
+  const topo::FatTree topo = topo::FatTree::build(tp);
   const auto pxc = model::spe_compute(arch::CellVariant::kPowerXCell8i);
   const model::SweepWorkload w;  // 5x5x400, MK=20
 

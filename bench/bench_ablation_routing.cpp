@@ -7,12 +7,12 @@
 #include <iostream>
 #include <vector>
 
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace rr;
-  const topo::Topology t = topo::Topology::roadrunner();
+  const topo::FatTree t = topo::FatTree::roadrunner();
   const topo::NodeId src{0};
 
   // Deterministic histogram (the model's routing).

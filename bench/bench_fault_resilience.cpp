@@ -18,6 +18,7 @@
 #include <iostream>
 #include <vector>
 
+#include "topo/fat_tree.hpp"
 #include "arch/spec.hpp"
 #include "fault/checkpoint_policy.hpp"
 #include "fault/failure_model.hpp"
@@ -52,7 +53,7 @@ void add_study_rows(rr::Table& t,
 int main(int argc, char** argv) {
   using namespace rr;
   const arch::SystemSpec system = arch::make_roadrunner();
-  const topo::Topology topo = topo::Topology::roadrunner();
+  const topo::FatTree topo = topo::FatTree::roadrunner();
   const fault::StudyConfig cfg;  // defaults: 4 GiB/node state, seeded
   engine::SweepEngine eng;       // hardware-concurrency workers
   engine::ResultStore store;

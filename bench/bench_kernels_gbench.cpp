@@ -12,7 +12,7 @@
 #include "spu/kernels.hpp"
 #include "sweep/kba.hpp"
 #include "sweep/solver.hpp"
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -103,7 +103,7 @@ void BM_DesEngine(benchmark::State& state) {
 BENCHMARK(BM_DesEngine);
 
 void BM_TopologyRoute(benchmark::State& state) {
-  static const topo::Topology t = topo::Topology::roadrunner();
+  static const topo::FatTree t = topo::FatTree::roadrunner();
   Rng rng(5);
   for (auto _ : state) {
     const int a = static_cast<int>(rng.next_below(t.node_count()));

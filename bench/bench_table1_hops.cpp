@@ -3,12 +3,12 @@
 // destination-indexed routing over the explicit fabric.
 #include <iostream>
 
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace rr;
-  const topo::Topology t = topo::Topology::roadrunner();
+  const topo::FatTree t = topo::FatTree::roadrunner();
   const topo::NodeId src{0};
 
   // Classify destinations the way the paper's rows do.

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "topo/fat_tree.hpp"
 #include "cml/cml.hpp"
 #include "comm/collectives.hpp"
 #include "sim/trace.hpp"
@@ -23,7 +24,7 @@ int main(int argc, char** argv) {
 
   topo::TopologyParams tp;
   tp.cu_count = 1;
-  const topo::Topology topo = topo::Topology::build(tp);
+  const topo::FatTree topo = topo::FatTree::build(tp);
 
   cml::CmlConfig config;
   config.nodes = static_cast<int>(cli.get_int("nodes", 2));

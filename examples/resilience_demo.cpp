@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "topo/fat_tree.hpp"
 #include "arch/spec.hpp"
 #include "fault/checkpoint_policy.hpp"
 #include "fault/failure_model.hpp"
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   const double state_gib = static_cast<double>(cli.get_int("state-gib", 4));
 
   const arch::SystemSpec system = arch::make_roadrunner();
-  const topo::Topology topo = topo::Topology::roadrunner();
+  const topo::FatTree topo = topo::FatTree::roadrunner();
 
   // --- a scripted morning of faults --------------------------------------
   print_banner(std::cout, "Scripted fault scenario on the DES clock");

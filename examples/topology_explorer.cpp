@@ -7,7 +7,7 @@
 
 #include "comm/fabric.hpp"
 #include "sweep/schedule.hpp"
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   topo::TopologyParams params;
   params.cu_count = cus;
-  const topo::Topology t = topo::Topology::build(params);
+  const topo::FatTree t = topo::FatTree::build(params);
   const comm::FabricModel fabric(t);
 
   const int src = static_cast<int>(cli.get_int("src", 0));

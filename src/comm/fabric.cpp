@@ -78,29 +78,10 @@ Bandwidth FabricModel::large_message_bandwidth(topo::NodeId src, topo::NodeId ds
 }
 
 int FabricModel::min_cross_cu_hops(int cu_a, int cu_b) const {
-  const topo::TopologyParams& p = topo_->params();
-  RR_EXPECTS(cu_a >= 0 && cu_a < p.cu_count && cu_b >= 0 && cu_b < p.cu_count);
+  const int cus = topo_->cu_count();
+  RR_EXPECTS(cu_a >= 0 && cu_a < cus && cu_b >= 0 && cu_b < cus);
   RR_EXPECTS(cu_a != cu_b);
-  // One representative node per lower crossbar is exhaustive: the
-  // deterministic route is a function of (src lower xbar, dst lower xbar)
-  // only, never of the port within the crossbar.
-  const auto reps = [&](int cu) {
-    std::vector<topo::NodeId> out;
-    for (int j = 0; j < p.lower_xbars_per_cu; ++j) {
-      const topo::Crossbar& x = topo_->crossbar(topo_->cu_lower_id(cu, j));
-      if (!x.compute_nodes.empty()) {
-        out.push_back(topo::NodeId{x.compute_nodes.front()});
-      }
-    }
-    return out;
-  };
-  int best = -1;
-  for (const topo::NodeId s : reps(cu_a)) {
-    for (const topo::NodeId d : reps(cu_b)) {
-      const int h = topo_->hop_count(s, d);
-      if (best < 0 || h < best) best = h;
-    }
-  }
+  const int best = topo_->min_partition_hops(cu_a, cu_b);
   RR_ENSURES(best > 0);
   return best;
 }

@@ -39,16 +39,15 @@ class FabricModel {
   /// Mean large-message bandwidth from `src` to every other node.
   Bandwidth average_bandwidth(topo::NodeId src, DataSize n, bool pinned) const;
 
-  /// Minimum crossbar hops between any node in CU `cu_a` and any node in
-  /// CU `cu_b` under the deterministic routing.  Exact: a route depends
-  /// only on the endpoints' lower crossbars, so sampling one node per
-  /// crossbar covers every pair.  Cross-CU routes always traverse at
-  /// least the two CU switches plus an inter-CU crossbar, so this is
-  /// >= 5 for cu_a != cu_b (Table I).
+  /// Minimum crossbar hops between any node of partition `cu_a` and any
+  /// node of partition `cu_b` under the deterministic routing
+  /// (Topology::min_partition_hops: >= 5 cross-CU on the fat tree per
+  /// Table I, 1 + slab ring distance on a torus, 2 on a dragonfly).
   int min_cross_cu_hops(int cu_a, int cu_b) const;
 
   /// Logical-process graph for the parallel conservative engine
-  /// (sim::ParallelSimulator): one partition per CU, directed link
+  /// (sim::ParallelSimulator): one partition per CU / torus slab /
+  /// dragonfly group, directed link
   /// latency = the smallest zero-byte MPI latency between the two CUs
   /// (software base + per-hop latency x min_cross_cu_hops).  Strictly
   /// positive by construction -- this is the lookahead that lets the

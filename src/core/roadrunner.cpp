@@ -6,13 +6,13 @@
 
 namespace rr::core {
 
-RoadrunnerSystem::RoadrunnerSystem(arch::SystemSpec spec, topo::Topology topo)
+RoadrunnerSystem::RoadrunnerSystem(arch::SystemSpec spec, topo::FatTree topo)
     : spec_(std::move(spec)),
-      topo_(std::make_unique<topo::Topology>(std::move(topo))),
+      topo_(std::make_unique<topo::FatTree>(std::move(topo))),
       fabric_(std::make_unique<comm::FabricModel>(*topo_)) {}
 
 RoadrunnerSystem RoadrunnerSystem::full() {
-  return RoadrunnerSystem(arch::make_roadrunner(), topo::Topology::roadrunner());
+  return RoadrunnerSystem(arch::make_roadrunner(), topo::FatTree::roadrunner());
 }
 
 RoadrunnerSystem RoadrunnerSystem::with_cu_count(int cu_count) {
@@ -21,7 +21,7 @@ RoadrunnerSystem RoadrunnerSystem::with_cu_count(int cu_count) {
   spec.cu_count = cu_count;
   topo::TopologyParams params;
   params.cu_count = cu_count;
-  return RoadrunnerSystem(std::move(spec), topo::Topology::build(params));
+  return RoadrunnerSystem(std::move(spec), topo::FatTree::build(params));
 }
 
 model::LinpackProjection RoadrunnerSystem::linpack() const {

@@ -20,7 +20,7 @@
 #include "fault/resilience_study.hpp"
 #include "model/linpack.hpp"
 #include "model/sweep_model.hpp"
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 
 namespace rr::core {
 
@@ -76,10 +76,10 @@ class RoadrunnerSystem {
       const std::vector<int>& node_counts, int threads = 0) const;
 
  private:
-  RoadrunnerSystem(arch::SystemSpec spec, topo::Topology topo);
+  RoadrunnerSystem(arch::SystemSpec spec, topo::FatTree topo);
 
   arch::SystemSpec spec_;
-  std::unique_ptr<topo::Topology> topo_;
+  std::unique_ptr<topo::FatTree> topo_;
   std::unique_ptr<comm::FabricModel> fabric_;
 };
 

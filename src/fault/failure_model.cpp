@@ -65,13 +65,13 @@ const char* component_name(Component c) {
 ComponentCounts census(const topo::Topology& t) {
   ComponentCounts c;
   c.nodes = t.node_count();
-  c.switches = t.params().inter_cu_switches;
-  for (int id = 0; id < t.crossbar_count(); ++id) {
-    const topo::Crossbar& x = t.crossbar(id);
-    const bool cu_level = x.kind == topo::XbarKind::kCuLower ||
-                          x.kind == topo::XbarKind::kCuUpper;
-    if (cu_level) ++c.crossbars;
-  }
+  // Switch-chassis members (the fat tree's inter-CU L1/mid/L3 crossbars)
+  // fail with their chassis; everything else fails individually.
+  c.switches = t.switch_count();
+  int in_switches = 0;
+  for (int sw = 0; sw < t.switch_count(); ++sw)
+    in_switches += static_cast<int>(t.switch_members(sw).size());
+  c.crossbars = t.crossbar_count() - in_switches;
   c.links = static_cast<int>(cable_list(t).size());
   return c;
 }
@@ -81,7 +81,10 @@ ComponentCounts census_for_nodes(const topo::Topology& full, int nodes) {
   const ComponentCounts whole = census(full);
   const double share =
       static_cast<double>(nodes) / static_cast<double>(full.node_count());
+  // A class the machine does not have (e.g. switch chassis on a torus)
+  // stays empty; any populated class keeps at least one member.
   const auto scaled = [share](int count) {
+    if (count == 0) return 0;
     return std::max(1, static_cast<int>(std::ceil(count * share)));
   };
   ComponentCounts c;

@@ -7,7 +7,7 @@ namespace rr::engine {
 
 SharedContext::SharedContext()
     : system_(arch::make_roadrunner()),
-      topo_(topo::Topology::roadrunner()),
+      topo_(topo::FatTree::roadrunner()),
       fabric_(topo_),
       spe_pxc_(model::spe_compute(arch::CellVariant::kPowerXCell8i)),
       opteron_1800_(model::opteron_1800_compute()) {}

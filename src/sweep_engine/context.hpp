@@ -11,7 +11,7 @@
 #include "arch/spec.hpp"
 #include "comm/fabric.hpp"
 #include "model/sweep_model.hpp"
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 
 namespace rr::engine {
 
@@ -21,7 +21,7 @@ class SharedContext {
   static const SharedContext& instance();
 
   const arch::SystemSpec& system() const { return system_; }
-  const topo::Topology& topology() const { return topo_; }
+  const topo::FatTree& topology() const { return topo_; }
   const comm::FabricModel& fabric() const { return fabric_; }
 
   /// SPU-pipeline-derived SPE rate (PowerXCell 8i, optimized kernel) --
@@ -33,7 +33,7 @@ class SharedContext {
   SharedContext();
 
   arch::SystemSpec system_;
-  topo::Topology topo_;
+  topo::FatTree topo_;
   comm::FabricModel fabric_;
   model::SweepCompute spe_pxc_;
   model::SweepCompute opteron_1800_;

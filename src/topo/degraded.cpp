@@ -37,12 +37,8 @@ void DegradedTopology::fail_node(NodeId n) {
 }
 
 void DegradedTopology::fail_inter_cu_switch(int sw) {
-  const int level = base_->params().upper_xbars_per_cu;
-  for (int i = 0; i < level; ++i) {
-    fail_crossbar(base_->l1_id(sw, i));
-    fail_crossbar(base_->mid_id(sw, i));
-    fail_crossbar(base_->l3_id(sw, i));
-  }
+  RR_EXPECTS(sw >= 0 && sw < base_->switch_count());
+  for (int id : base_->switch_members(sw)) fail_crossbar(id);
 }
 
 void DegradedTopology::reset() {
@@ -59,8 +55,7 @@ bool DegradedTopology::link_failed(int a, int b) const {
 bool DegradedTopology::node_alive(NodeId n) const {
   RR_EXPECTS(n.v >= 0 && n.v < base_->node_count());
   if (node_failed_[n.v]) return false;
-  const Attachment& att = base_->attachment(n);
-  return !crossbar_failed(base_->cu_lower_id(att.cu, att.lower_xbar));
+  return !crossbar_failed(base_->node_xbar(n));
 }
 
 int DegradedTopology::alive_node_count() const {
@@ -75,110 +70,11 @@ bool DegradedTopology::link_usable(int a, int b) const {
          !link_failed(a, b);
 }
 
-/// First surviving upper crossbar of `cu` cabled to both lower crossbars,
-/// scanning from the destination-indexed preference in a fixed order.
-std::optional<int> DegradedTopology::pick_upper(int cu, int from_lower,
-                                                int to_lower) const {
-  const int uppers = base_->params().upper_xbars_per_cu;
-  const int lo_from = base_->cu_lower_id(cu, from_lower);
-  const int lo_to = base_->cu_lower_id(cu, to_lower);
-  const int preferred = to_lower % uppers;
-  for (int k = 0; k < uppers; ++k) {
-    const int up = base_->cu_upper_id(cu, (preferred + k) % uppers);
-    if (link_usable(lo_from, up) && link_usable(up, lo_to)) return up;
-  }
-  return std::nullopt;
-}
-
 std::optional<std::vector<int>> DegradedTopology::route(NodeId src,
                                                         NodeId dst) const {
   if (!node_alive(src) || !node_alive(dst)) return std::nullopt;
-  std::vector<int> path;
-  if (src == dst) return path;
-
-  const TopologyParams& p = base_->params();
-  const Attachment& a = base_->attachment(src);
-  const Attachment& b = base_->attachment(dst);
-  const int src_lower = base_->cu_lower_id(a.cu, a.lower_xbar);
-  const int dst_lower = base_->cu_lower_id(b.cu, b.lower_xbar);
-
-  if (a.cu == b.cu) {
-    path.push_back(src_lower);
-    if (a.lower_xbar == b.lower_xbar) return path;
-    const auto up = pick_upper(a.cu, a.lower_xbar, b.lower_xbar);
-    if (!up) return std::nullopt;
-    path.push_back(*up);
-    path.push_back(dst_lower);
-    return path;
-  }
-
-  // Cross-CU.  Preferred entry crossbar index is the destination's lower
-  // crossbar (healthy destination-indexed routing); if no switch path
-  // survives through it, fall back to another entry index and descend
-  // through the destination CU's fat tree (at most +2 hops).
-  const int stride = p.inter_cu_switches / p.uplinks_per_lower_xbar;
-  const bool src_first = a.cu < p.first_level_cus;
-  const bool dst_first = b.cu < p.first_level_cus;
-
-  for (int jk = 0; jk < p.lower_xbars_per_cu; ++jk) {
-    const int j = (b.lower_xbar + jk) % p.lower_xbars_per_cu;
-    const int climb_from = base_->cu_lower_id(a.cu, j);
-    const int land_at = base_->cu_lower_id(b.cu, j);
-    if (crossbar_failed(climb_from) || crossbar_failed(land_at)) continue;
-
-    // Climb inside the source CU to the entry crossbar.
-    std::vector<int> prefix;
-    prefix.push_back(src_lower);
-    if (a.lower_xbar != j) {
-      const auto up = pick_upper(a.cu, a.lower_xbar, j);
-      if (!up) continue;
-      prefix.push_back(*up);
-      prefix.push_back(climb_from);
-    }
-
-    // Cross through one of the entry crossbar's uplink switches.
-    const int entry = j / stride;
-    std::vector<int> across;
-    bool crossed = false;
-    for (int tk = 0; tk < p.uplinks_per_lower_xbar && !crossed; ++tk) {
-      const int t =
-          (b.cu % p.uplinks_per_lower_xbar + tk) % p.uplinks_per_lower_xbar;
-      const int sw = j % stride + stride * t;
-      across.clear();
-      if (src_first && dst_first) {
-        across = {base_->l1_id(sw, entry)};
-      } else if (src_first && !dst_first) {
-        across = {base_->l1_id(sw, entry), base_->mid_id(sw, entry),
-                  base_->l3_id(sw, entry)};
-      } else if (!src_first && dst_first) {
-        across = {base_->l3_id(sw, entry), base_->mid_id(sw, entry),
-                  base_->l1_id(sw, entry)};
-      } else {
-        across = {base_->l3_id(sw, entry)};
-      }
-      crossed = link_usable(climb_from, across.front()) &&
-                link_usable(across.back(), land_at);
-      for (std::size_t i = 0; crossed && i + 1 < across.size(); ++i)
-        crossed = link_usable(across[i], across[i + 1]);
-    }
-    if (!crossed) continue;
-
-    // Descend inside the destination CU when we entered off-index.
-    std::vector<int> suffix;
-    suffix.push_back(land_at);
-    if (j != b.lower_xbar) {
-      const auto up = pick_upper(b.cu, j, b.lower_xbar);
-      if (!up) continue;
-      suffix.push_back(*up);
-      suffix.push_back(dst_lower);
-    }
-
-    path = std::move(prefix);
-    path.insert(path.end(), across.begin(), across.end());
-    path.insert(path.end(), suffix.begin(), suffix.end());
-    return path;
-  }
-  return std::nullopt;
+  if (src == dst) return std::vector<int>{};
+  return base_->route_degraded(src, dst, *this);
 }
 
 std::optional<int> DegradedTopology::hop_count(NodeId src, NodeId dst) const {
@@ -195,6 +91,19 @@ std::vector<int> DegradedTopology::bfs_crossbar_distance(int xbar_id) const {
       [this](int a, int b) { return !link_failed(a, b); });
 }
 
+bool path_valid(const DegradedTopology& d, NodeId src, NodeId dst,
+                const std::vector<int>& path) {
+  (void)src;
+  if (path.empty()) return false;
+  // Endpoint crossbars are checked explicitly: a single-element path has
+  // no consecutive pair, and link_usable only vets interior hops.
+  if (d.crossbar_failed(path.front()) || d.crossbar_failed(path.back()))
+    return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (!d.link_usable(path[i], path[i + 1])) return false;
+  return path.back() == d.base().node_xbar(dst);
+}
+
 RouteAudit audit_routes(const DegradedTopology& d, int src_stride,
                         int dst_stride) {
   RR_EXPECTS(src_stride >= 1 && dst_stride >= 1);
@@ -203,9 +112,7 @@ RouteAudit audit_routes(const DegradedTopology& d, int src_stride,
   for (int s = 0; s < t.node_count(); s += src_stride) {
     const NodeId src{s};
     if (!d.node_alive(src)) continue;
-    const Attachment& att = t.attachment(src);
-    const std::vector<int> floor =
-        d.bfs_crossbar_distance(t.cu_lower_id(att.cu, att.lower_xbar));
+    const std::vector<int> floor = d.bfs_crossbar_distance(t.node_xbar(src));
     for (int e = 0; e < t.node_count(); e += dst_stride) {
       const NodeId dst{e};
       if (src == dst || !d.node_alive(dst)) continue;
@@ -215,12 +122,7 @@ RouteAudit audit_routes(const DegradedTopology& d, int src_stride,
         ++audit.unreachable;
         continue;
       }
-      bool ok = !path->empty() && !d.crossbar_failed(path->front());
-      for (std::size_t i = 0; ok && i + 1 < path->size(); ++i)
-        ok = d.link_usable((*path)[i], (*path)[i + 1]);
-      const Attachment& datt = t.attachment(dst);
-      ok = ok && path->back() == t.cu_lower_id(datt.cu, datt.lower_xbar);
-      if (!ok) ++audit.broken;
+      if (!path_valid(d, src, dst, *path)) ++audit.broken;
       const std::set<int> unique(path->begin(), path->end());
       if (unique.size() != path->size()) ++audit.loops;
       const int bfs = floor[path->back()];

@@ -1,16 +1,11 @@
-// Degraded operation of the Roadrunner fabric: an overlay on an immutable
-// Topology that marks crossbars, cables, and nodes as failed and reroutes
-// around them with the same destination-indexed up*/down* discipline the
-// healthy fabric uses (see topology.hpp).
-//
-// The rerouting preserves the deterministic-routing structure instead of
-// falling back to shortest paths: at each decision point of the healthy
-// route (intra-CU upper crossbar, inter-CU switch choice, inter-CU entry
-// crossbar) the router scans the alternatives in a fixed order and takes
-// the first one that is fully alive.  Routes stay loop-free by
-// construction -- the path is a strict up-across-down (plus at most one
-// extra up-down inside the destination CU when the preferred entry
-// crossbar is gone), and never revisits a crossbar.
+// Degraded operation of a fabric: an overlay on an immutable Topology
+// that marks crossbars, cables, and nodes as failed and reroutes around
+// them.  The rerouting discipline is the topology's own
+// (Topology::route_degraded): the fat tree preserves its deterministic
+// destination-indexed up*/down* structure instead of falling back to
+// shortest paths; tori and dragonflies walk a deterministic BFS over the
+// surviving crossbar graph.  Either way routes stay loop-free and are a
+// pure function of the fault set.
 //
 // This is the `src/topo` half of the fault subsystem (src/fault); the
 // MTBF machinery that decides *what* fails lives over there.
@@ -35,8 +30,8 @@ class DegradedTopology {
   /// One cable between adjacent crossbars (order-insensitive).
   void fail_link(int a, int b);
   void fail_node(NodeId n);
-  /// A whole inter-CU ISR 9288: all of its L1/mid/L3 crossbars at once
-  /// (shared chassis, power, and management plane).
+  /// A whole switch chassis: all of its member crossbars at once (shared
+  /// chassis, power, and management plane; Topology::switch_members).
   void fail_inter_cu_switch(int sw);
   /// Back to the pristine fabric.
   void reset();
@@ -44,7 +39,7 @@ class DegradedTopology {
   // ---- state queries ------------------------------------------------------
   bool crossbar_failed(int id) const { return xbar_failed_[id] != 0; }
   bool link_failed(int a, int b) const;
-  /// A node is alive iff neither it nor its lower crossbar has failed.
+  /// A node is alive iff neither it nor its crossbar has failed.
   bool node_alive(NodeId n) const;
   int failed_crossbar_count() const { return failed_xbars_; }
   int alive_node_count() const;
@@ -53,7 +48,7 @@ class DegradedTopology {
   bool link_usable(int a, int b) const;
 
   // ---- degraded routing ----------------------------------------------------
-  /// The degraded route from src to dst, or nullopt when no up/down route
+  /// The degraded route from src to dst, or nullopt when no route
   /// survives.  Empty path for src == dst.  Both endpoints must be alive.
   std::optional<std::vector<int>> route(NodeId src, NodeId dst) const;
 
@@ -62,12 +57,10 @@ class DegradedTopology {
 
   /// BFS crossbar distance on the *surviving* fabric (same convention as
   /// Topology::bfs_crossbar_distance: the start crossbar counts as one).
-  /// Failed crossbars keep distance -1.
+  /// Failed crossbars keep distance -1 -- including the start itself.
   std::vector<int> bfs_crossbar_distance(int xbar_id) const;
 
  private:
-  std::optional<int> pick_upper(int cu, int from_lower, int to_lower) const;
-
   const Topology* base_;
   std::vector<char> xbar_failed_;
   std::vector<char> node_failed_;
@@ -75,11 +68,20 @@ class DegradedTopology {
   int failed_xbars_ = 0;
 };
 
+/// Validate one candidate src -> dst path against the degraded fabric:
+/// non-empty, the *first and last* crossbars are alive (a path that
+/// starts or ends on a failed crossbar is broken even if every interior
+/// cable checks out), every consecutive pair is a usable cable, and the
+/// path ends at the destination's crossbar.  The audit uses this for its
+/// `broken` counter; tests feed it synthetic paths.
+bool path_valid(const DegradedTopology& d, NodeId src, NodeId dst,
+                const std::vector<int>& path);
+
 /// Sweep of surviving node pairs (src sampled every `src_stride`, dst
 /// every `dst_stride`) validating the degraded router:
-///   * every route edge is an existing, uncut cable between live crossbars
+///   * every route passes path_valid (live endpoints, existing uncut
+///     cables between live crossbars, correct final crossbar)
 ///   * no crossbar repeats on a path (loop-free)
-///   * the path ends at the destination's lower crossbar
 ///   * no path beats the BFS floor of the surviving fabric
 struct RouteAudit {
   int pairs_checked = 0;

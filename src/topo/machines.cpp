@@ -1,0 +1,68 @@
+#include "topo/machines.hpp"
+
+#include "topo/dragonfly.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/torus.hpp"
+
+namespace rr::topo {
+
+const std::vector<MachineSpec>& machine_zoo() {
+  static const std::vector<MachineSpec> zoo = {
+      {"roadrunner-fat-tree", "fat-tree",
+       "17 CUs of 24-port crossbars + 8 inter-CU switches, 3,060 nodes"},
+      {"qpace-torus", "torus",
+       "QPACE-style 3D torus, 8x8x16 PowerXCell node cards (1,024 nodes)"},
+      {"bgl-torus", "torus",
+       "BlueGene/L-style 3D-torus midplane, 8x8x8 (512 nodes)"},
+      {"columbia-torus", "torus",
+       "Columbia-style 4D torus, 4x4x4x8 (512 nodes)"},
+      {"dragonfly", "dragonfly",
+       "balanced dragonfly, p=4 a=8 h=4, 33 groups (1,056 nodes)"},
+  };
+  return zoo;
+}
+
+bool known_machine(std::string_view name) {
+  for (const MachineSpec& m : machine_zoo())
+    if (m.name == name) return true;
+  return false;
+}
+
+std::unique_ptr<Topology> make_machine(std::string_view name, bool small) {
+  if (name == "roadrunner-fat-tree") {
+    if (!small) return std::make_unique<FatTree>(FatTree::roadrunner());
+    FatTreeParams p;
+    p.cu_count = 3;
+    return std::make_unique<FatTree>(FatTree::build(p));
+  }
+  if (name == "qpace-torus") {
+    TorusParams p;
+    p.dims = small ? std::vector<int>{4, 4, 4} : std::vector<int>{8, 8, 16};
+    return std::make_unique<Torus>(Torus::build(p));
+  }
+  if (name == "bgl-torus") {
+    TorusParams p;
+    p.dims = small ? std::vector<int>{4, 4, 2} : std::vector<int>{8, 8, 8};
+    return std::make_unique<Torus>(Torus::build(p));
+  }
+  if (name == "columbia-torus") {
+    TorusParams p;
+    p.dims = small ? std::vector<int>{2, 2, 2, 4}
+                   : std::vector<int>{4, 4, 4, 8};
+    return std::make_unique<Torus>(Torus::build(p));
+  }
+  if (name == "dragonfly") {
+    DragonflyParams p;
+    if (small) {
+      p.nodes_per_router = 2;
+      p.routers_per_group = 4;
+      p.global_links_per_router = 2;
+      p.groups = 9;
+    }
+    return std::make_unique<Dragonfly>(Dragonfly::build(p));
+  }
+  RR_EXPECTS(!"unknown machine name");
+  return nullptr;
+}
+
+}  // namespace rr::topo

@@ -1,0 +1,42 @@
+// The topology zoo: named machine presets spanning the design space the
+// related work maps out, buildable by name for the cross-machine studies
+// (sweep_engine/zoo, bench_topo_zoo) and the CLI selectors.
+//
+//   roadrunner-fat-tree  the paper's machine (fat_tree.hpp, 3,060 nodes)
+//   qpace-torus          QPACE-style 3D torus of PowerXCell 8i node cards
+//   bgl-torus            BlueGene/L-style 3D-torus midplane
+//   columbia-torus       Columbia lattice-QCD-style 4D torus
+//   dragonfly            balanced Kim/Dally dragonfly
+//
+// Each preset also has a `small` variant (same family and routing, a few
+// dozen to a few hundred nodes) for tests and CI smoke runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace rr::topo {
+
+struct MachineSpec {
+  std::string name;
+  std::string family;
+  std::string description;
+};
+
+/// Every machine the zoo can build, in canonical order.
+const std::vector<MachineSpec>& machine_zoo();
+
+/// True if `name` is a zoo machine.
+bool known_machine(std::string_view name);
+
+/// Build a zoo machine by name (aborts on unknown names -- call
+/// known_machine first when parsing user input).  `small` selects the
+/// reduced test-scale preset.
+std::unique_ptr<Topology> make_machine(std::string_view name,
+                                       bool small = false);
+
+}  // namespace rr::topo

@@ -3,130 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "topo/degraded.hpp"
+
 namespace rr::topo {
-
-namespace {
-/// Number of switch groups by parity class: with 8 switches and 4 uplinks
-/// per lower crossbar, uplinks from crossbar j go to switches
-/// { j mod K + K*t : t = 0..3 } with K = 2 (see Section II.B).
-int switch_stride(const TopologyParams& p) {
-  RR_EXPECTS(p.inter_cu_switches % p.uplinks_per_lower_xbar == 0);
-  return p.inter_cu_switches / p.uplinks_per_lower_xbar;
-}
-}  // namespace
-
-Topology Topology::roadrunner() { return build(TopologyParams{}); }
-
-Topology Topology::build(const TopologyParams& p) {
-  RR_EXPECTS(p.cu_count >= 1);
-  RR_EXPECTS(p.lower_xbars_per_cu % switch_stride(p) == 0);
-  // Level size of the inter-CU switches must match the lower-crossbar
-  // index space so that destination-indexed routing is well defined.
-  const int level_size = p.lower_xbars_per_cu / switch_stride(p);
-  RR_EXPECTS(level_size == p.upper_xbars_per_cu);
-
-  Topology t;
-  t.params_ = p;
-
-  // ---- allocate crossbars -------------------------------------------------
-  const int n_cu_lower = p.cu_count * p.lower_xbars_per_cu;
-  const int n_cu_upper = p.cu_count * p.upper_xbars_per_cu;
-  const int n_level = p.inter_cu_switches * level_size;
-  t.cu_lower_base_ = 0;
-  t.cu_upper_base_ = n_cu_lower;
-  t.l1_base_ = t.cu_upper_base_ + n_cu_upper;
-  t.mid_base_ = t.l1_base_ + n_level;
-  t.l3_base_ = t.mid_base_ + n_level;
-  t.xbars_.resize(t.l3_base_ + n_level);
-
-  for (int cu = 0; cu < p.cu_count; ++cu) {
-    for (int j = 0; j < p.lower_xbars_per_cu; ++j) {
-      Crossbar& x = t.xbars_[t.cu_lower_id(cu, j)];
-      x.kind = XbarKind::kCuLower;
-      x.cu = cu;
-      x.index = j;
-    }
-    for (int u = 0; u < p.upper_xbars_per_cu; ++u) {
-      Crossbar& x = t.xbars_[t.cu_upper_id(cu, u)];
-      x.kind = XbarKind::kCuUpper;
-      x.cu = cu;
-      x.index = u;
-    }
-  }
-  for (int sw = 0; sw < p.inter_cu_switches; ++sw) {
-    for (int i = 0; i < level_size; ++i) {
-      Crossbar& a = t.xbars_[t.l1_id(sw, i)];
-      a.kind = XbarKind::kInterCuL1;
-      a.sw = sw;
-      a.index = i;
-      Crossbar& b = t.xbars_[t.mid_id(sw, i)];
-      b.kind = XbarKind::kInterCuMid;
-      b.sw = sw;
-      b.index = i;
-      Crossbar& c = t.xbars_[t.l3_id(sw, i)];
-      c.kind = XbarKind::kInterCuL3;
-      c.sw = sw;
-      c.index = i;
-    }
-  }
-
-  // ---- attach nodes -------------------------------------------------------
-  // Compute nodes fill lower crossbars 8 at a time; the crossbar after the
-  // last full one carries the remaining compute nodes plus the first I/O
-  // nodes; remaining I/O nodes continue onto the following crossbar(s)
-  // ("22 ... have 8 compute nodes, one has 4 compute and 4 I/O, and the
-  //  last has 8 I/O", Section II.B).
-  t.attachments_.resize(static_cast<std::size_t>(p.cu_count) * p.compute_nodes_per_cu);
-  for (int cu = 0; cu < p.cu_count; ++cu) {
-    for (int local = 0; local < p.compute_nodes_per_cu; ++local) {
-      const int j = local / p.nodes_per_lower_xbar;
-      const int port = local % p.nodes_per_lower_xbar;
-      RR_ASSERT(j < p.lower_xbars_per_cu);
-      const NodeId id{cu * p.compute_nodes_per_cu + local};
-      t.xbars_[t.cu_lower_id(cu, j)].compute_nodes.push_back(id.v);
-      t.attachments_[id.v] = Attachment{cu, j, port};
-    }
-    int io_slot = p.compute_nodes_per_cu;  // continue port-filling after compute
-    for (int k = 0; k < p.io_nodes_per_cu; ++k, ++io_slot) {
-      const int j = io_slot / p.nodes_per_lower_xbar;
-      RR_ASSERT(j < p.lower_xbars_per_cu);
-      ++t.xbars_[t.cu_lower_id(cu, j)].io_nodes;
-    }
-  }
-
-  // ---- intra-CU fat tree: every lower crossbar to every upper crossbar ----
-  for (int cu = 0; cu < p.cu_count; ++cu)
-    for (int j = 0; j < p.lower_xbars_per_cu; ++j)
-      for (int u = 0; u < p.upper_xbars_per_cu; ++u)
-        t.add_link(t.cu_lower_id(cu, j), t.cu_upper_id(cu, u));
-
-  // ---- uplinks: lower crossbar j -> switches {j mod K + K*t}, entering at
-  //      level crossbar (j div K); CUs 1..first_level attach at L1, the
-  //      rest at L3.
-  const int stride = switch_stride(p);
-  for (int cu = 0; cu < p.cu_count; ++cu) {
-    const bool first_side = cu < p.first_level_cus;
-    for (int j = 0; j < p.lower_xbars_per_cu; ++j) {
-      const int entry = j / stride;
-      for (int tlink = 0; tlink < p.uplinks_per_lower_xbar; ++tlink) {
-        const int sw = j % stride + stride * tlink;
-        const int level_xbar = first_side ? t.l1_id(sw, entry) : t.l3_id(sw, entry);
-        t.add_link(t.cu_lower_id(cu, j), level_xbar);
-      }
-    }
-  }
-
-  // ---- inside each inter-CU switch: L1 and L3 fully connect to the middle
-  for (int sw = 0; sw < p.inter_cu_switches; ++sw)
-    for (int a = 0; a < level_size; ++a)
-      for (int m = 0; m < level_size; ++m) {
-        t.add_link(t.l1_id(sw, a), t.mid_id(sw, m));
-        t.add_link(t.l3_id(sw, a), t.mid_id(sw, m));
-      }
-
-  t.finalize_links();
-  return t;
-}
 
 void Topology::add_link(int a, int b) {
   RR_EXPECTS(a != b);
@@ -134,93 +13,14 @@ void Topology::add_link(int a, int b) {
   xbars_[b].links.push_back(a);
 }
 
-void Topology::finalize_links() {
+void Topology::finalize_links(int max_ports) {
   for (auto& x : xbars_) {
     std::sort(x.links.begin(), x.links.end());
-    // Crossbars are 24-port devices; nothing may exceed the port budget.
+    if (max_ports <= 0) continue;
     const int ports = static_cast<int>(x.links.size()) +
                       static_cast<int>(x.compute_nodes.size()) + x.io_nodes;
-    RR_ENSURES(ports <= params_.crossbar_ports);
+    RR_ENSURES(ports <= max_ports);
   }
-}
-
-int Topology::cu_lower_id(int cu, int j) const {
-  RR_EXPECTS(cu >= 0 && cu < params_.cu_count);
-  RR_EXPECTS(j >= 0 && j < params_.lower_xbars_per_cu);
-  return cu_lower_base_ + cu * params_.lower_xbars_per_cu + j;
-}
-int Topology::cu_upper_id(int cu, int u) const {
-  RR_EXPECTS(cu >= 0 && cu < params_.cu_count);
-  RR_EXPECTS(u >= 0 && u < params_.upper_xbars_per_cu);
-  return cu_upper_base_ + cu * params_.upper_xbars_per_cu + u;
-}
-int Topology::l1_id(int sw, int x) const {
-  RR_EXPECTS(sw >= 0 && sw < params_.inter_cu_switches);
-  return l1_base_ + sw * params_.upper_xbars_per_cu + x;
-}
-int Topology::mid_id(int sw, int m) const {
-  RR_EXPECTS(sw >= 0 && sw < params_.inter_cu_switches);
-  return mid_base_ + sw * params_.upper_xbars_per_cu + m;
-}
-int Topology::l3_id(int sw, int y) const {
-  RR_EXPECTS(sw >= 0 && sw < params_.inter_cu_switches);
-  return l3_base_ + sw * params_.upper_xbars_per_cu + y;
-}
-
-std::vector<int> Topology::uplink_switches(int j) const {
-  const int stride = switch_stride(params_);
-  std::vector<int> out;
-  for (int tlink = 0; tlink < params_.uplinks_per_lower_xbar; ++tlink)
-    out.push_back(j % stride + stride * tlink);
-  return out;
-}
-
-std::vector<int> Topology::route(NodeId src, NodeId dst) const {
-  RR_EXPECTS(src.v >= 0 && src.v < node_count());
-  RR_EXPECTS(dst.v >= 0 && dst.v < node_count());
-  std::vector<int> path;
-  if (src == dst) return path;
-
-  const Attachment& a = attachments_[src.v];
-  const Attachment& b = attachments_[dst.v];
-
-  path.push_back(cu_lower_id(a.cu, a.lower_xbar));
-  if (a.cu == b.cu) {
-    if (a.lower_xbar != b.lower_xbar) {
-      path.push_back(cu_upper_id(a.cu, b.lower_xbar % params_.upper_xbars_per_cu));
-      path.push_back(cu_lower_id(a.cu, b.lower_xbar));
-    }
-    return path;
-  }
-
-  // Cross-CU: enter the inter-CU fabric through lower crossbar b.lower_xbar
-  // (the only crossbar with an uplink landing at the destination's entry
-  // crossbar -- destination-indexed deterministic routing).
-  const int j = b.lower_xbar;
-  if (a.lower_xbar != j) {
-    path.push_back(cu_upper_id(a.cu, j % params_.upper_xbars_per_cu));
-    path.push_back(cu_lower_id(a.cu, j));
-  }
-  const int stride = switch_stride(params_);
-  const int sw = j % stride + stride * (b.cu % params_.uplinks_per_lower_xbar);
-  const int entry = j / stride;
-  const bool src_first = a.cu < params_.first_level_cus;
-  const bool dst_first = b.cu < params_.first_level_cus;
-  if (src_first && dst_first) {
-    path.push_back(l1_id(sw, entry));
-  } else if (src_first && !dst_first) {
-    path.push_back(l1_id(sw, entry));
-    path.push_back(mid_id(sw, entry));
-    path.push_back(l3_id(sw, entry));
-  } else if (!src_first && dst_first) {
-    path.push_back(l3_id(sw, entry));
-    path.push_back(mid_id(sw, entry));
-    path.push_back(l1_id(sw, entry));
-  } else {
-    path.push_back(l3_id(sw, entry));
-  }
-  path.push_back(cu_lower_id(b.cu, j));
-  return path;
 }
 
 std::vector<int> Topology::hop_histogram(NodeId src) const {
@@ -264,6 +64,8 @@ std::vector<int> Topology::bfs_crossbar_distance(
   RR_EXPECTS(failed.empty() || failed.size() == xbars_.size());
   const auto down = [&](int id) { return !failed.empty() && failed[id]; };
   std::vector<int> dist(xbars_.size(), -1);
+  // A failed start crossbar reaches nothing -- not even itself: every
+  // distance stays -1 (never 0, which would read as "reachable for free").
   if (down(xbar_id)) return dist;
   std::queue<int> q;
   dist[xbar_id] = 1;  // the starting crossbar itself counts as one hop
@@ -279,6 +81,37 @@ std::vector<int> Topology::bfs_crossbar_distance(
     }
   }
   return dist;
+}
+
+std::optional<std::vector<int>> Topology::route_degraded(
+    NodeId src, NodeId dst, const DegradedTopology& d) const {
+  // Deterministic BFS over the surviving crossbar graph: adjacency lists
+  // are sorted and the queue is FIFO, so the parent of every crossbar --
+  // and therefore the whole path -- is a pure function of the fault set.
+  const int from = node_xbar(src);
+  const int to = node_xbar(dst);
+  if (from == to) return std::vector<int>{from};
+  if (d.crossbar_failed(from) || d.crossbar_failed(to)) return std::nullopt;
+  std::vector<int> parent(xbars_.size(), -1);
+  std::queue<int> q;
+  parent[from] = from;
+  q.push(from);
+  while (!q.empty() && parent[to] == -1) {
+    const int x = q.front();
+    q.pop();
+    for (int nb : xbars_[x].links) {
+      if (parent[nb] == -1 && !d.crossbar_failed(nb) && d.link_usable(x, nb)) {
+        parent[nb] = x;
+        q.push(nb);
+      }
+    }
+  }
+  if (parent[to] == -1) return std::nullopt;
+  std::vector<int> path;
+  for (int x = to; x != from; x = parent[x]) path.push_back(x);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 }  // namespace rr::topo

@@ -1,28 +1,34 @@
-// Explicit model of the Roadrunner interconnect (Sections II.B-C).
+// Abstract machine interconnect: the crossbar/router graph, deterministic
+// routing, and the hop/latency queries every consumer (comm/fabric,
+// topo/degraded, fault, sweep_engine) asks of a fabric.
 //
-// Each Compute Unit (CU) contains one Voltaire ISR 9288 switch whose 36
-// 24-port crossbars form a two-level full fat tree: 24 lower crossbars
-// (8 compute/IO nodes + 12 intra-CU channels + 4 inter-CU channels each)
-// and 12 upper crossbars.  Eight more ISR 9288 switches interconnect the
-// 17 CUs in a 2:1 reduced fat tree: within each inter-CU switch, 12
-// first-level crossbars serve CUs 1-12, 12 third-level crossbars serve
-// CUs 13-17, and 12 middle crossbars join the two sides.
+// The paper's machine is one point in a design space the related work
+// maps out: Roadrunner's fat tree of 24-port crossbars (fat_tree.hpp),
+// BlueGene/L- and QPACE-style k-ary n-cube tori (torus.hpp), and a
+// dragonfly (dragonfly.hpp).  Every implementation shares one contract:
 //
-// Routing is deterministic and destination-indexed (InfiniBand-style
-// up*/down* with one path per destination): a message enters the inter-CU
-// fabric only through the lower crossbar whose index matches the
-// destination's lower crossbar.  This is what produces the paper's Table I
-// hop classes (3/5/5/7) -- shortest-path routing would collapse the 7-hop
-// class (see DESIGN.md §4).
+//   * a route is the sequence of crossbar/router ids a message traverses,
+//     starting at the source's own crossbar; empty for src == dst
+//   * hop_count = route length, so hop_count(n, n) == 0
+//   * hop_histogram(src) covers every node including self, so
+//     histogram[0] == 1 and average_hops is the mean "including self"
+//     (the paper's Table I convention, average 5.38)
+//   * routing is deterministic: repeated calls return the same route
+//
+// The generic algorithms (histograms, adjacency, BFS floors) live here,
+// driven by the derived class's wiring (`xbars_`) and routing (`route`).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "util/expect.hpp"
 
 namespace rr::topo {
+
+class DegradedTopology;
 
 /// Global compute-node rank, 0 .. node_count()-1 (node = triblade).
 struct NodeId {
@@ -31,129 +37,132 @@ struct NodeId {
 };
 
 enum class XbarKind : std::uint8_t {
-  kCuLower,     ///< CU switch, node-facing level
-  kCuUpper,     ///< CU switch, spine level
-  kInterCuL1,   ///< inter-CU switch, first level (CUs 1-12)
-  kInterCuMid,  ///< inter-CU switch, middle level
-  kInterCuL3,   ///< inter-CU switch, last level (CUs 13-17)
+  kCuLower,      ///< fat tree: CU switch, node-facing level
+  kCuUpper,      ///< fat tree: CU switch, spine level
+  kInterCuL1,    ///< fat tree: inter-CU switch, first level (CUs 1-12)
+  kInterCuMid,   ///< fat tree: inter-CU switch, middle level
+  kInterCuL3,    ///< fat tree: inter-CU switch, last level (CUs 13-17)
+  kTorusRouter,  ///< torus: one router per lattice point
+  kDflyRouter,   ///< dragonfly: group-local router
 };
 
-/// One 24-port crossbar.
+/// One crossbar / router of the fabric.
 struct Crossbar {
   XbarKind kind{};
-  int cu = -1;      ///< owning CU for kCuLower/kCuUpper, else -1
-  int sw = -1;      ///< owning inter-CU switch for kInterCu*, else -1
-  int index = -1;   ///< index within its level
+  int cu = -1;      ///< owning partition (CU / torus slab / dragonfly group)
+  int sw = -1;      ///< owning inter-CU switch (fat tree) or group, else -1
+  int index = -1;   ///< index within its level / group
   std::vector<int> links;           ///< adjacent crossbar ids (sorted)
   std::vector<int> compute_nodes;   ///< attached compute NodeId values
   int io_nodes = 0;                 ///< attached I/O node count
 };
 
-/// Where a compute node attaches.
-struct Attachment {
-  int cu = -1;
-  int lower_xbar = -1;  ///< 0..23 within the CU
-  int port = -1;        ///< 0..7 on the crossbar
-};
-
-/// Structural parameters; defaults are the full Roadrunner build.
-struct TopologyParams {
-  int cu_count = 17;
-  int inter_cu_switches = 8;
-  int lower_xbars_per_cu = 24;
-  int upper_xbars_per_cu = 12;
-  int uplinks_per_lower_xbar = 4;
-  int first_level_cus = 12;  ///< CUs beyond this attach to the L3 level
-  int nodes_per_lower_xbar = 8;
-  int compute_nodes_per_cu = 180;  ///< 22 full crossbars + 4 on the shared one
-  int io_nodes_per_cu = 12;        ///< 4 on the shared crossbar + 8 on the last
-  int crossbar_ports = 24;         ///< Voltaire ISR 9288 internal crossbars
-};
-
 class Topology {
  public:
-  /// Build the full 17-CU Roadrunner fabric.
-  static Topology roadrunner();
-  /// Build a custom configuration (used by tests and what-if studies).
-  static Topology build(const TopologyParams& params);
+  virtual ~Topology() = default;
 
-  int node_count() const { return static_cast<int>(attachments_.size()); }
+  /// Machine family tag: "fat-tree", "torus", "dragonfly".
+  virtual const char* family() const = 0;
+
+  /// Number of partitions for the parallel conservative engine (CUs on
+  /// the fat tree, slabs along the partition dimension on a torus,
+  /// groups on a dragonfly).  Always >= 1.
+  virtual int cu_count() const = 0;
+
+  /// The deterministic route: the sequence of crossbars a message from
+  /// `src` to `dst` traverses.  Empty for src == dst.
+  virtual std::vector<int> route(NodeId src, NodeId dst) const = 0;
+
+  /// Minimum crossbar hops between any node of partition `cu_a` and any
+  /// node of partition `cu_b` under the deterministic routing, for
+  /// cu_a != cu_b.  Strictly positive -- this feeds the parallel-DES
+  /// lookahead (comm::FabricModel::cu_partition_graph), which must never
+  /// collapse to zero.
+  virtual int min_partition_hops(int cu_a, int cu_b) const = 0;
+
+  /// The degraded route from `src` to `dst` on the surviving fabric, or
+  /// nullopt when nothing survives.  Endpoints are already known alive
+  /// and distinct (DegradedTopology::route checks).  The default walks a
+  /// deterministic BFS over the surviving crossbar graph; the fat tree
+  /// overrides it with the up*/down* rerouting discipline.
+  virtual std::optional<std::vector<int>> route_degraded(
+      NodeId src, NodeId dst, const DegradedTopology& d) const;
+
+  /// Multi-crossbar switch chassis that fail as one unit (shared power
+  /// and management plane).  Families without such chassis report zero.
+  virtual int switch_count() const { return 0; }
+  /// Crossbar ids belonging to switch chassis `sw`.
+  virtual std::vector<int> switch_members(int sw) const {
+    (void)sw;
+    return {};
+  }
+
+  int node_count() const { return static_cast<int>(node_xbar_.size()); }
   int crossbar_count() const { return static_cast<int>(xbars_.size()); }
-  int cu_count() const { return params_.cu_count; }
-  const TopologyParams& params() const { return params_; }
 
   const Crossbar& crossbar(int id) const {
     RR_EXPECTS(id >= 0 && id < crossbar_count());
     return xbars_[id];
   }
-  const Attachment& attachment(NodeId n) const {
+
+  /// The crossbar/router a compute node attaches to.
+  int node_xbar(NodeId n) const {
     RR_EXPECTS(n.v >= 0 && n.v < node_count());
-    return attachments_[n.v];
+    return node_xbar_[n.v];
   }
 
-  /// Owning CU of a compute node: the natural partition map for the
-  /// parallel conservative engine (one logical process per CU).  Total
-  /// and single-valued: every node maps to exactly one CU in
-  /// [0, cu_count()).
-  int cu_of(NodeId n) const { return attachment(n).cu; }
-
-  /// Crossbar ids for the levels (for tests / inspection).
-  int cu_lower_id(int cu, int j) const;
-  int cu_upper_id(int cu, int u) const;
-  int l1_id(int sw, int x) const;
-  int mid_id(int sw, int m) const;
-  int l3_id(int sw, int y) const;
-
-  /// The deterministic route: the sequence of crossbars a message from
-  /// `src` to `dst` traverses.  Empty for src == dst.
-  std::vector<int> route(NodeId src, NodeId dst) const;
+  /// Owning partition of a compute node: the natural partition map for
+  /// the parallel conservative engine.  Total and single-valued: every
+  /// node maps to exactly one partition in [0, cu_count()).
+  int cu_of(NodeId n) const { return xbars_[node_xbar(n)].cu; }
 
   /// Number of crossbar hops on the deterministic route (Table I metric).
+  /// Zero for src == dst (the route is empty -- the self convention every
+  /// implementation shares).
   int hop_count(NodeId src, NodeId dst) const {
     return static_cast<int>(route(src, dst).size());
   }
 
-  /// Histogram of hop counts from `src` to every compute node (incl. self).
-  /// Index = hop count, value = number of destinations.
+  /// Histogram of hop counts from `src` to every compute node (incl. self,
+  /// so histogram[0] == 1).  Index = hop count, value = destinations.
   std::vector<int> hop_histogram(NodeId src) const;
 
-  /// Average hops from `src` over all destinations including self
-  /// (the paper's Table I average, 5.38).
+  /// Average hops from `src` over all destinations including self (the
+  /// paper's Table I average, 5.38 on the fat tree).  Derived from
+  /// hop_histogram, so the mean recomputed from the histogram matches
+  /// bit-exactly by construction.
   double average_hops(NodeId src) const;
 
   /// True if crossbars a and b share a cable (used by the route validator).
   bool adjacent(int a, int b) const;
 
-  /// BFS shortest hop distance in the crossbar graph from src's lower
-  /// crossbar, counting crossbars visited; used by tests to show that the
-  /// deterministic route is never shorter than physics allows.
+  /// BFS shortest hop distance in the crossbar graph from `xbar_id`,
+  /// counting crossbars visited (the start counts as one); used by tests
+  /// to show that the deterministic route is never shorter than physics
+  /// allows.
   std::vector<int> bfs_crossbar_distance(int xbar_id) const;
 
   /// Same floor on a degraded fabric (topo/degraded.hpp): crossbars whose
-  /// `failed` entry is nonzero are not traversed, and a cable a-b is only
-  /// taken when `link_ok(a, b)` holds.  Unreachable (or failed) crossbars
-  /// keep distance -1.
+  /// `failed` entry is nonzero are not traversed -- including `xbar_id`
+  /// itself, whose distance stays -1 when it is failed -- and a cable a-b
+  /// is only taken when `link_ok(a, b)` holds.  Unreachable (or failed)
+  /// crossbars keep distance -1.
   std::vector<int> bfs_crossbar_distance(
       int xbar_id, const std::vector<char>& failed,
       const std::function<bool(int, int)>& link_ok) const;
 
-  /// Which inter-CU switches a given (cu, lower crossbar) uplinks to.
-  std::vector<int> uplink_switches(int lower_xbar_index) const;
-
- private:
+ protected:
   Topology() = default;
-  void add_link(int a, int b);
-  void finalize_links();
+  Topology(const Topology&) = default;
+  Topology& operator=(const Topology&) = default;
 
-  TopologyParams params_;
+  void add_link(int a, int b);
+  /// Sort adjacency lists and check the per-crossbar port budget
+  /// (links + attached nodes <= max_ports; 0 disables the check).
+  void finalize_links(int max_ports);
+
   std::vector<Crossbar> xbars_;
-  std::vector<Attachment> attachments_;
-  // id layout offsets
-  int cu_lower_base_ = 0;
-  int cu_upper_base_ = 0;
-  int l1_base_ = 0;
-  int mid_base_ = 0;
-  int l3_base_ = 0;
+  std::vector<int> node_xbar_;  ///< NodeId.v -> crossbar id
 };
 
 }  // namespace rr::topo

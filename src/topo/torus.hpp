@@ -1,0 +1,60 @@
+// k-ary n-cube tori: the interconnect family of BlueGene/L ("The
+// BlueGene/L Supercomputer": 3D torus of compute ASICs), QPACE (the
+// paper's own PowerXCell 8i on a custom 3D torus), and the Columbia
+// lattice-QCD machines (4D).  One router per lattice point, a bidirectional
+// ring per dimension, `nodes_per_router` compute nodes attached locally.
+//
+// Routing is deterministic dimension-ordered (e-cube): resolve dimension
+// 0 first, then 1, ..., stepping along the shorter ring direction (ties
+// break toward +).  Every route is minimal, so the hop histogram is the
+// lattice ring-distance distribution shifted by the source router.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace rr::topo {
+
+struct TorusParams {
+  /// Ring length per dimension (e.g. {8, 8, 8} for a 512-router 3D torus).
+  std::vector<int> dims;
+  /// Compute nodes attached to each router (>= 1).
+  int nodes_per_router = 1;
+  /// Dimension sliced into partitions for the parallel engine (one slab
+  /// of routers per coordinate along it); -1 = the last dimension.
+  int partition_dim = -1;
+};
+
+class Torus final : public Topology {
+ public:
+  /// Torus-specific invariants live here, not on the interface: at least
+  /// one dimension, every ring length >= 1, at least one node per router.
+  static Torus build(const TorusParams& params);
+
+  const char* family() const override { return "torus"; }
+  int cu_count() const override { return params_.dims[partition_dim_]; }
+  const TorusParams& params() const { return params_; }
+  int partition_dim() const { return partition_dim_; }
+
+  int router_count() const { return crossbar_count(); }
+  int router_id(const std::vector<int>& coord) const;
+  std::vector<int> coordinates(int router) const;
+
+  std::vector<int> route(NodeId src, NodeId dst) const override;
+
+  /// 1 + ring distance between the two slabs along the partition
+  /// dimension: dimension-ordered routing between routers that differ
+  /// only in that dimension achieves exactly this, and no cross-slab
+  /// route can do better.
+  int min_partition_hops(int cu_a, int cu_b) const override;
+
+ private:
+  Torus() = default;
+
+  TorusParams params_;
+  int partition_dim_ = 0;
+};
+
+/// Minimal hops around a ring of length k (ties and direction aside).
+int ring_distance(int a, int b, int k);
+
+}  // namespace rr::topo

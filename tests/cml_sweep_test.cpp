@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "topo/fat_tree.hpp"
 #include "model/sweep_model.hpp"
 #include "sweep/cml_sweep.hpp"
 
@@ -7,10 +8,10 @@ namespace rr::sweep {
 namespace {
 
 const topo::Topology& one_cu_topo() {
-  static const topo::Topology t = [] {
+  static const topo::FatTree t = [] {
     topo::TopologyParams p;
     p.cu_count = 1;
-    return topo::Topology::build(p);
+    return topo::FatTree::build(p);
   }();
   return t;
 }

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "topo/fat_tree.hpp"
 #include "arch/calibration.hpp"
 #include "cml/cml.hpp"
 
@@ -11,10 +12,10 @@ namespace {
 namespace cal = rr::arch::cal;
 
 const topo::Topology& small_topo() {
-  static const topo::Topology t = [] {
+  static const topo::FatTree t = [] {
     topo::TopologyParams p;
     p.cu_count = 2;
-    return topo::Topology::build(p);
+    return topo::FatTree::build(p);
   }();
   return t;
 }

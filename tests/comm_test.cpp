@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "topo/fat_tree.hpp"
 #include "arch/calibration.hpp"
 #include "comm/channel.hpp"
 #include "comm/fabric.hpp"
@@ -190,7 +191,7 @@ TEST(Fig9, RatioApproachesOneAtLargeSizes) {
 class Fig10Test : public ::testing::Test {
  protected:
   static const topo::Topology& topo() {
-    static const topo::Topology t = topo::Topology::roadrunner();
+    static const topo::FatTree t = topo::FatTree::roadrunner();
     return t;
   }
 };
@@ -267,7 +268,7 @@ TEST(SimNetwork, IbTransferTakesModelTime) {
   sim::TaskRegistry reg(sim);
   topo::TopologyParams p;
   p.cu_count = 2;
-  const topo::Topology t = topo::Topology::build(p);
+  const topo::FatTree t = topo::FatTree::build(p);
   SimNetwork net(sim, t);
   double done = 0.0;
   reg.spawn(do_ib(net, 0, 100, DataSize::kib(4), done));
@@ -281,7 +282,7 @@ TEST(SimNetwork, SenderHcaSerializesConcurrentSends) {
   sim::TaskRegistry reg(sim);
   topo::TopologyParams p;
   p.cu_count = 2;
-  const topo::Topology t = topo::Topology::build(p);
+  const topo::FatTree t = topo::FatTree::build(p);
   SimNetwork net(sim, t);
   double done1 = 0.0, done2 = 0.0;
   reg.spawn(do_ib(net, 0, 100, k1MB, done1));
@@ -296,7 +297,7 @@ TEST(SimNetwork, BestCasePcieIsFasterThanDacs) {
   sim::Simulator sim;
   topo::TopologyParams p;
   p.cu_count = 1;
-  const topo::Topology t = topo::Topology::build(p);
+  const topo::FatTree t = topo::FatTree::build(p);
   SimNetwork early(sim, t, NetworkConfig{4, false});
   SimNetwork best(sim, t, NetworkConfig{4, true});
   EXPECT_LT(best.dacs_time(k1MB).ps(), early.dacs_time(k1MB).ps());

@@ -3,6 +3,7 @@
 // logging, and stats edges.
 #include <gtest/gtest.h>
 
+#include "topo/fat_tree.hpp"
 #include "arch/power.hpp"
 #include "comm/fabric.hpp"
 #include "spu/dma.hpp"
@@ -101,10 +102,10 @@ TEST(PowerModel, NodePowerIsComponentSum) {
 // ---------------------------------------------------------------------------
 
 TEST(FabricEdges, SelfLatencyIsZero) {
-  static const topo::Topology t = [] {
+  static const topo::FatTree t = [] {
     topo::TopologyParams p;
     p.cu_count = 1;
-    return topo::Topology::build(p);
+    return topo::FatTree::build(p);
   }();
   const comm::FabricModel fabric(t);
   EXPECT_EQ(fabric.zero_byte_latency(topo::NodeId{5}, topo::NodeId{5}).ps(), 0);
@@ -113,7 +114,7 @@ TEST(FabricEdges, SelfLatencyIsZero) {
 TEST(FabricEdges, SweepSkipsTheSource) {
   topo::TopologyParams p;
   p.cu_count = 1;
-  const topo::Topology t = topo::Topology::build(p);
+  const topo::FatTree t = topo::FatTree::build(p);
   const comm::FabricModel fabric(t);
   const auto sweep = fabric.latency_sweep(topo::NodeId{42});
   EXPECT_EQ(sweep.size(), static_cast<std::size_t>(t.node_count() - 1));
@@ -123,7 +124,7 @@ TEST(FabricEdges, SweepSkipsTheSource) {
 TEST(FabricEdges, PinnedAlwaysBeatsDefaultAtLargeSizes) {
   topo::TopologyParams p;
   p.cu_count = 2;
-  const topo::Topology t = topo::Topology::build(p);
+  const topo::FatTree t = topo::FatTree::build(p);
   const comm::FabricModel fabric(t);
   const DataSize big = DataSize::bytes(1'000'000);
   for (int d : {1, 100, 200}) {

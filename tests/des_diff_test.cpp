@@ -18,6 +18,7 @@
 // so the exact workload replays under a debugger.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,7 +26,9 @@
 #include <utility>
 #include <vector>
 
+#include "comm/fabric.hpp"
 #include "sim/parallel_simulator.hpp"
+#include "topo/machines.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -108,7 +111,14 @@ class SharedClockAdapter {
 class ParallelAdapter {
  public:
   ParallelAdapter(const Workload& w, int threads)
-      : engine_(make_graph(w), threads), marks_(w.partitions) {
+      : ParallelAdapter(w, threads, make_graph(w)) {}
+
+  /// Run on an externally derived partition graph (e.g. a machine's
+  /// comm::FabricModel::cu_partition_graph) instead of the synthetic
+  /// all-pairs one.  The workload's lookahead_ps must be >= every link's
+  /// min delay so each cross send stays legal on its link.
+  ParallelAdapter(const Workload& w, int threads, rr::sim::PartitionGraph g)
+      : engine_(std::move(g), threads), marks_(w.partitions) {
     engine_.set_log_enabled(true);
   }
 
@@ -359,6 +369,47 @@ TEST(DesDiffStats, WindowCountersIndependentOfThreads) {
   }
   EXPECT_GT(stats[0].windows, 1u);
   EXPECT_GT(stats[0].cross_messages, 0u);
+}
+
+// A real machine's partition graph, not the synthetic all-pairs one: the
+// torus lookahead that comm::FabricModel::cu_partition_graph derives
+// from Topology::min_partition_hops must drive the parallel engine to
+// the same bit-identical merge the serial oracle produces.  The graph is
+// heterogeneous (ring distance varies per slab pair), so this also
+// exercises per-link lookahead rather than one global constant.
+TEST(DesDiffTopology, TorusPartitionGraphBitIdenticalToSerial) {
+  const std::unique_ptr<rr::topo::Topology> t =
+      rr::topo::make_machine("qpace-torus", /*small=*/true);
+  const rr::comm::FabricModel fabric(*t);
+  const rr::sim::PartitionGraph g = fabric.cu_partition_graph();
+  ASSERT_EQ(g.partitions(), t->cu_count());
+  ASSERT_GT(g.partitions(), 1);
+
+  std::int64_t max_link_delay_ps = 0;
+  for (int a = 0; a < g.partitions(); ++a)
+    for (int b = 0; b < g.partitions(); ++b) {
+      if (a == b) continue;
+      ASSERT_TRUE(g.has_link(a, b));
+      ASSERT_GT(g.min_delay_ps(a, b), 0);
+      max_link_delay_ps = std::max(max_link_delay_ps, g.min_delay_ps(a, b));
+    }
+  ASSERT_GT(g.lookahead_ps(), 0);
+
+  Workload w;
+  w.partitions = g.partitions();
+  w.roots = 24;
+  w.depth = 4;
+  // Every cross send's delay is lookahead_ps + jitter, so pinning it to
+  // the slowest link keeps each send legal on whichever link it takes.
+  w.lookahead_ps = max_link_delay_ps;
+
+  const std::uint64_t seed = 0x70905ULL;
+  const EngineResult serial = replay<SerialAdapter>(seed, w);
+  ASSERT_GT(serial.events_run, 0u);
+  for (const int threads : {1, 2, 4, 8}) {
+    const EngineResult par = replay<ParallelAdapter>(seed, w, threads, g);
+    expect_identical(serial, par, seed, "parallel@torus-graph");
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "topo/fat_tree.hpp"
 #include "arch/spec.hpp"
 #include "comm/reliable.hpp"
 #include "fault/checkpoint_policy.hpp"
@@ -18,8 +19,8 @@
 namespace rr::fault {
 namespace {
 
-const topo::Topology& full_topo() {
-  static const topo::Topology t = topo::Topology::roadrunner();
+const topo::FatTree& full_topo() {
+  static const topo::FatTree t = topo::FatTree::roadrunner();
   return t;
 }
 
@@ -39,7 +40,7 @@ TEST(Census, FullMachineComponentCounts) {
 TEST(Census, CuLevelCrossbarsOccupyTheLowIds) {
   // apply_to_fabric maps kCrossbar indices straight to crossbar ids; that
   // only works because the id layout puts all 36*17 CU crossbars first.
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   const int cu_level = census(t).crossbars;
   for (int id : {0, 1, cu_level - 1}) {
     const auto kind = t.crossbar(id).kind;
@@ -270,7 +271,7 @@ TEST(MonteCarlo, DeterministicForAGivenSeed) {
 // ---------------------------------------------------------------------------
 
 TEST(DegradedRouting, HealthyOverlayReproducesDeterministicRoutes) {
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   const topo::DegradedTopology d(t);
   for (int s : {0, 999, 2500})
     for (int e = 0; e < t.node_count(); e += 211) {
@@ -282,7 +283,7 @@ TEST(DegradedRouting, HealthyOverlayReproducesDeterministicRoutes) {
 }
 
 TEST(DegradedRouting, EverySingleInterCuSwitchFailureReroutesCleanly) {
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   topo::DegradedTopology d(t);
   for (int sw = 0; sw < t.params().inter_cu_switches; ++sw) {
     d.reset();
@@ -300,7 +301,7 @@ TEST(DegradedRouting, EverySingleInterCuSwitchFailureReroutesCleanly) {
 }
 
 TEST(DegradedRouting, SampledSingleCrossbarFailuresStayLoopFreeAndBounded) {
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   topo::DegradedTopology d(t);
   for (int id = 0; id < t.crossbar_count(); id += 37) {
     d.reset();
@@ -315,7 +316,7 @@ TEST(DegradedRouting, SampledSingleCrossbarFailuresStayLoopFreeAndBounded) {
 }
 
 TEST(DegradedRouting, CutCableOnTheDefaultRouteIsAvoided) {
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   topo::DegradedTopology d(t);
   const topo::NodeId src{0}, dst{3059};
   const auto healthy = t.route(src, dst);
@@ -333,7 +334,7 @@ TEST(DegradedRouting, CutCableOnTheDefaultRouteIsAvoided) {
 }
 
 TEST(DegradedRouting, FailedNodeAndItsCrossbarNeighborsAreHandled) {
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   topo::DegradedTopology d(t);
   d.fail_node(topo::NodeId{5});
   EXPECT_FALSE(d.node_alive(topo::NodeId{5}));
@@ -346,7 +347,7 @@ TEST(DegradedRouting, FailedNodeAndItsCrossbarNeighborsAreHandled) {
 }
 
 TEST(DegradedRouting, CombinedScenarioHasNoLoopsOrBrokenCables) {
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   topo::DegradedTopology d(t);
   d.fail_inter_cu_switch(2);
   d.fail_crossbar(t.cu_lower_id(4, 7));
@@ -361,7 +362,7 @@ TEST(DegradedRouting, CombinedScenarioHasNoLoopsOrBrokenCables) {
 }
 
 TEST(DegradedRouting, ScheduleAppliedThroughInjectorDegradesFabric) {
-  const topo::Topology& t = full_topo();
+  const topo::FatTree& t = full_topo();
   const auto cables = cable_list(t);
   topo::DegradedTopology fabric(t);
   sim::Simulator sim;

@@ -118,7 +118,7 @@ void check_golden(const std::string& name, Json computed) {
 
 Json compute_table1() {
   const auto& ctx = engine::SharedContext::instance();
-  const topo::Topology& t = ctx.topology();
+  const topo::FatTree& t = ctx.topology();
   const topo::NodeId src{0};
   const topo::Attachment& a0 = t.attachment(src);
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "topo/fat_tree.hpp"
 #include "cml/cml.hpp"
 #include "comm/collectives.hpp"
 #include "io/io_model.hpp"
@@ -66,7 +67,7 @@ TEST(Collectives, AllreduceIsTwiceBroadcast) {
 TEST(Collectives, AnalyticBarrierBoundsTheDesWithinSocket) {
   topo::TopologyParams tp;
   tp.cu_count = 1;
-  const topo::Topology topo = topo::Topology::build(tp);
+  const topo::FatTree topo = topo::FatTree::build(tp);
   sim::Simulator simulator;
   cml::CmlConfig config;
   config.nodes = 1;

@@ -14,7 +14,7 @@
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "sim/parallel_simulator.hpp"
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -270,7 +270,7 @@ TEST(ParallelSim, CuPartitionGraphDrivesTheEngine) {
   // own minimum latencies.
   rr::topo::TopologyParams params;
   params.cu_count = 3;  // keep default switch counts: divisibility rules
-  const auto topo = rr::topo::Topology::build(params);
+  const auto topo = rr::topo::FatTree::build(params);
   const rr::comm::FabricModel fabric(topo);
   const PartitionGraph g = fabric.cu_partition_graph();
   ASSERT_EQ(g.partitions(), 3);

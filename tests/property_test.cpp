@@ -22,7 +22,7 @@
 #include "spu/pipeline.hpp"
 #include "sweep/solver.hpp"
 #include "sweep_engine/engine.hpp"
-#include "topo/topology.hpp"
+#include "topo/fat_tree.hpp"
 #include "util/rng.hpp"
 
 namespace rr {
@@ -37,19 +37,19 @@ class TopologyInvariants : public ::testing::TestWithParam<int> {
   // One topology per CU count for the whole process: the five invariant
   // cases at a given parameter share it instead of rebuilding (17 CUs is
   // a 3,060-node, 900-crossbar construction per call).
-  static const topo::Topology& topology_for(int cu_count) {
-    static std::map<int, topo::Topology> cache;
+  static const topo::FatTree& topology_for(int cu_count) {
+    static std::map<int, topo::FatTree> cache;
     static std::mutex mu;
     const std::lock_guard<std::mutex> lock(mu);
     auto it = cache.find(cu_count);
     if (it == cache.end()) {
       topo::TopologyParams p;
       p.cu_count = cu_count;
-      it = cache.emplace(cu_count, topo::Topology::build(p)).first;
+      it = cache.emplace(cu_count, topo::FatTree::build(p)).first;
     }
     return it->second;
   }
-  const topo::Topology& build() const { return topology_for(GetParam()); }
+  const topo::FatTree& build() const { return topology_for(GetParam()); }
 };
 
 TEST_P(TopologyInvariants, HistogramAccountsForEveryNode) {
@@ -95,7 +95,7 @@ TEST_P(TopologyInvariants, RandomRoutesAreValidAndSymmetricInLength) {
 }
 
 TEST_P(TopologyInvariants, FirstHopIsAlwaysTheSourceCrossbar) {
-  const topo::Topology& t = build();
+  const topo::FatTree& t = build();
   Rng rng(GetParam());
   for (int trial = 0; trial < 20; ++trial) {
     const int a = static_cast<int>(rng.next_below(t.node_count()));
@@ -155,7 +155,7 @@ TEST_P(TopologyInvariants, EveryInterCuPathHasStrictlyPositiveMinLatency) {
 }
 
 TEST_P(TopologyInvariants, PartitionMapCoversAllCusExactlyOnce) {
-  const topo::Topology& t = build();
+  const topo::FatTree& t = build();
   // cu_of is total and single-valued by type; show it is also surjective
   // with the expected population, i.e. the partition map covers every CU
   // and every node lands in exactly one partition.

@@ -3,13 +3,16 @@
 #include <map>
 #include <set>
 
-#include "topo/topology.hpp"
+#include "topo/degraded.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/torus.hpp"
 
 namespace rr::topo {
 namespace {
 
-const Topology& full() {
-  static const Topology t = Topology::roadrunner();
+const FatTree& full() {
+  static const FatTree t = FatTree::roadrunner();
   return t;
 }
 
@@ -18,7 +21,7 @@ const Topology& full() {
 // ---------------------------------------------------------------------------
 
 TEST(Topology, SizesMatchPaper) {
-  const Topology& t = full();
+  const FatTree& t = full();
   EXPECT_EQ(t.node_count(), 3060);
   EXPECT_EQ(t.cu_count(), 17);
   // 17 CUs x 36 crossbars + 8 switches x 36 crossbars = 900.
@@ -26,7 +29,7 @@ TEST(Topology, SizesMatchPaper) {
 }
 
 TEST(Topology, LowerCrossbarPopulation) {
-  const Topology& t = full();
+  const FatTree& t = full();
   for (int cu = 0; cu < t.cu_count(); ++cu) {
     int compute = 0, io = 0, full8 = 0, mixed = 0, io8 = 0;
     for (int j = 0; j < 24; ++j) {
@@ -46,7 +49,7 @@ TEST(Topology, LowerCrossbarPopulation) {
 }
 
 TEST(Topology, PortBudgetsRespected) {
-  const Topology& t = full();
+  const FatTree& t = full();
   for (int id = 0; id < t.crossbar_count(); ++id) {
     const Crossbar& x = t.crossbar(id);
     const int ports = static_cast<int>(x.links.size()) +
@@ -56,7 +59,7 @@ TEST(Topology, PortBudgetsRespected) {
 }
 
 TEST(Topology, CuFatTreeIsFull) {
-  const Topology& t = full();
+  const FatTree& t = full();
   // Every lower crossbar connects to every upper crossbar within its CU.
   for (int j = 0; j < 24; ++j)
     for (int u = 0; u < 12; ++u)
@@ -66,7 +69,7 @@ TEST(Topology, CuFatTreeIsFull) {
 }
 
 TEST(Topology, EachCuHas96Uplinks) {
-  const Topology& t = full();
+  const FatTree& t = full();
   // 24 lower crossbars x 4 uplinks = 96 uplinks; 12 land on each of the 8
   // inter-CU switches (Section II.B).
   std::map<int, int> per_switch;
@@ -80,7 +83,7 @@ TEST(Topology, EachCuHas96Uplinks) {
 }
 
 TEST(Topology, InterCuSwitchInternalWiring) {
-  const Topology& t = full();
+  const FatTree& t = full();
   for (int x = 0; x < 12; ++x)
     for (int m = 0; m < 12; ++m) {
       EXPECT_TRUE(t.adjacent(t.l1_id(0, x), t.mid_id(0, m)));
@@ -100,7 +103,7 @@ TEST(Routing, SelfRouteIsEmpty) {
 }
 
 TEST(Routing, EveryRouteEdgeExists) {
-  const Topology& t = full();
+  const FatTree& t = full();
   // Spot-check a spread of destination classes from several sources.
   const int sources[] = {0, 7, 176, 180 * 5 + 33, 180 * 12, 180 * 16 + 179};
   for (int s : sources) {
@@ -114,7 +117,7 @@ TEST(Routing, EveryRouteEdgeExists) {
 }
 
 TEST(Routing, RoutesAreLoopFree) {
-  const Topology& t = full();
+  const FatTree& t = full();
   for (int d = 0; d < t.node_count(); d += 61) {
     const auto path = t.route(NodeId{5}, NodeId{d});
     const std::set<int> unique(path.begin(), path.end());
@@ -123,7 +126,7 @@ TEST(Routing, RoutesAreLoopFree) {
 }
 
 TEST(Routing, RouteEndsAtDestinationCrossbar) {
-  const Topology& t = full();
+  const FatTree& t = full();
   for (int d : {1, 200, 999, 2160, 3059}) {
     const auto path = t.route(NodeId{0}, NodeId{d});
     ASSERT_FALSE(path.empty());
@@ -133,14 +136,14 @@ TEST(Routing, RouteEndsAtDestinationCrossbar) {
 }
 
 TEST(Routing, HopCountIsSymmetric) {
-  const Topology& t = full();
+  const FatTree& t = full();
   for (int a = 0; a < t.node_count(); a += 401)
     for (int b = 0; b < t.node_count(); b += 577)
       EXPECT_EQ(t.hop_count(NodeId{a}, NodeId{b}), t.hop_count(NodeId{b}, NodeId{a}));
 }
 
 TEST(Routing, DeterministicRouteNeverBeatsBfs) {
-  const Topology& t = full();
+  const FatTree& t = full();
   const Attachment& src = t.attachment(NodeId{0});
   const auto dist = t.bfs_crossbar_distance(t.cu_lower_id(src.cu, src.lower_xbar));
   for (int d = 1; d < t.node_count(); d += 131) {
@@ -155,7 +158,7 @@ TEST(Routing, DeterministicRouteNeverBeatsBfs) {
 // ---------------------------------------------------------------------------
 
 TEST(TableI, HopHistogramFromNode0) {
-  const Topology& t = full();
+  const FatTree& t = full();
   const std::vector<int> hist = t.hop_histogram(NodeId{0});
   ASSERT_GE(hist.size(), 8u);
   EXPECT_EQ(hist[0], 1);            // self
@@ -174,7 +177,7 @@ TEST(TableI, AverageHopsIs538) {
 
 TEST(TableI, HistogramHoldsForOtherFirstSideSources) {
   // The hop-class structure is source-independent within CUs 1-12.
-  const Topology& t = full();
+  const FatTree& t = full();
   const std::vector<int> hist = t.hop_histogram(NodeId{180 * 7 + 42});
   EXPECT_EQ(hist[1], 7);
   EXPECT_EQ(hist[3], 260);
@@ -184,7 +187,7 @@ TEST(TableI, HistogramHoldsForOtherFirstSideSources) {
 TEST(TableI, LastFiveCuSourceSeesMirroredClasses) {
   // From a CU 13-17 node: CUs 1-12 are the "far side" (through the middle
   // level); the other four last-side CUs are near.
-  const Topology& t = full();
+  const FatTree& t = full();
   const std::vector<int> hist = t.hop_histogram(NodeId{180 * 14});
   EXPECT_EQ(hist[0], 1);
   EXPECT_EQ(hist[1], 7);
@@ -203,7 +206,7 @@ TEST(TableI, LastFiveCuSourceSeesMirroredClasses) {
 TEST(CustomTopology, TwoCuSystemHasNoSevenHopRoutes) {
   TopologyParams p;
   p.cu_count = 2;
-  const Topology t = Topology::build(p);
+  const FatTree t = FatTree::build(p);
   EXPECT_EQ(t.node_count(), 360);
   const std::vector<int> hist = t.hop_histogram(NodeId{0});
   EXPECT_EQ(hist.size(), 6u);  // max 5 hops when all CUs are on the L1 side
@@ -214,7 +217,7 @@ TEST(CustomTopology, TwoCuSystemHasNoSevenHopRoutes) {
 TEST(CustomTopology, ThirteenCuSystemHasBothSides) {
   TopologyParams p;
   p.cu_count = 13;
-  const Topology t = Topology::build(p);
+  const FatTree t = FatTree::build(p);
   const std::vector<int> hist = t.hop_histogram(NodeId{0});
   ASSERT_GE(hist.size(), 8u);
   EXPECT_EQ(hist[7], 172);  // exactly one far-side CU
@@ -226,14 +229,14 @@ TEST(CustomTopology, ThirteenCuSystemHasBothSides) {
 // ---------------------------------------------------------------------------
 
 TEST(MaskedBfs, MatchesUnmaskedWhenNothingIsFailed) {
-  const Topology& t = full();  // shared fixture; don't rebuild 3,060 nodes
+  const FatTree& t = full();  // shared fixture; don't rebuild 3,060 nodes
   const std::vector<char> none(static_cast<std::size_t>(t.crossbar_count()), 0);
   const auto all_ok = [](int, int) { return true; };
   EXPECT_EQ(t.bfs_crossbar_distance(0), t.bfs_crossbar_distance(0, none, all_ok));
 }
 
 TEST(MaskedBfs, FailedCrossbarsAreNotTraversed) {
-  const Topology& t = full();  // shared fixture; don't rebuild 3,060 nodes
+  const FatTree& t = full();  // shared fixture; don't rebuild 3,060 nodes
   // Cut every upper crossbar of CU 0: its lower crossbars can no longer
   // reach each other (or anything else).
   std::vector<char> failed(static_cast<std::size_t>(t.crossbar_count()), 0);
@@ -252,13 +255,149 @@ TEST(MaskedBfs, FailedCrossbarsAreNotTraversed) {
   EXPECT_GT(dist[static_cast<std::size_t>(t.cu_lower_id(1, 0))], 0);
 }
 
+// ---------------------------------------------------------------------------
+// Builder invariants are per-family (the fat-tree wiring preconditions
+// used to sit on the shared build path, where any torus/dragonfly
+// parameterization would have tripped them)
+// ---------------------------------------------------------------------------
+
+using BuilderDeath = ::testing::Test;
+
+TEST(BuilderDeath, FatTreeRejectsIndivisibleSwitchCount) {
+  FatTreeParams p;
+  p.inter_cu_switches = 6;  // not divisible by 4 uplinks
+  EXPECT_DEATH((void)FatTree::build(p), "inter_cu_switches");
+}
+
+TEST(BuilderDeath, FatTreeRejectsMismatchedLevelSize) {
+  FatTreeParams p;
+  p.upper_xbars_per_cu = 10;  // level size is lower/stride = 12
+  EXPECT_DEATH((void)FatTree::build(p), "level_size");
+}
+
+TEST(BuilderDeath, TorusRejectsEmptyDimsAndZeroNodes) {
+  EXPECT_DEATH((void)Torus::build(TorusParams{}), "dims");
+  TorusParams p;
+  p.dims = {4, 4};
+  p.nodes_per_router = 0;
+  EXPECT_DEATH((void)Torus::build(p), "nodes_per_router");
+}
+
+TEST(BuilderDeath, DragonflyRejectsTooManyGroups) {
+  DragonflyParams p;
+  p.routers_per_group = 4;
+  p.global_links_per_router = 2;
+  p.groups = 10;  // a*h + 1 = 9
+  EXPECT_DEATH((void)Dragonfly::build(p), "groups");
+}
+
+TEST(BuilderInvariants, NonFatTreeParamsDoNotTripFatTreeChecks) {
+  // Shapes no fat tree could have: odd prime rings, an unbalanced
+  // dragonfly.  Before the refactor these would have aborted in the
+  // shared builder's switch-stride / level-size preconditions.
+  TorusParams tp;
+  tp.dims = {5, 3, 7};
+  const Torus torus = Torus::build(tp);
+  EXPECT_EQ(torus.node_count(), 105);
+  DragonflyParams dp;
+  dp.nodes_per_router = 3;
+  dp.routers_per_group = 5;
+  dp.global_links_per_router = 1;
+  dp.groups = 6;
+  const Dragonfly dfly = Dragonfly::build(dp);
+  EXPECT_EQ(dfly.node_count(), 90);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-fabric contracts (fat tree and torus): a failed start crossbar
+// BFS-resolves to -1 everywhere, and the route audit rejects paths whose
+// first or last crossbar is failed
+// ---------------------------------------------------------------------------
+
+TEST(DegradedContract, FailedBfsStartKeepsMinusOneOnFatTree) {
+  const FatTree& t = full();
+  const int start = t.cu_lower_id(0, 0);
+  std::vector<char> failed(static_cast<std::size_t>(t.crossbar_count()), 0);
+  failed[static_cast<std::size_t>(start)] = 1;
+  const std::vector<int> dist = t.bfs_crossbar_distance(start, failed, {});
+  EXPECT_EQ(dist[static_cast<std::size_t>(start)], -1);  // never 0
+  for (int d : dist) EXPECT_EQ(d, -1);
+}
+
+TEST(DegradedContract, FailedBfsStartKeepsMinusOneOnTorus) {
+  TorusParams p;
+  p.dims = {4, 4, 4};
+  const Torus t = Torus::build(p);
+  DegradedTopology d(t);
+  d.fail_crossbar(9);
+  const std::vector<int> dist = d.bfs_crossbar_distance(9);
+  EXPECT_EQ(dist[9], -1);
+  for (int v : dist) EXPECT_EQ(v, -1);
+}
+
+TEST(DegradedContract, AuditRejectsFailedFirstOrLastCrossbarOnFatTree) {
+  const FatTree& t = full();
+  const NodeId src{0};
+  const NodeId dst{180 * 3 + 17};  // cross-CU
+  const std::vector<int> healthy = t.route(src, dst);
+  ASSERT_GE(healthy.size(), 2u);
+  {
+    DegradedTopology d(t);
+    EXPECT_TRUE(path_valid(d, src, dst, healthy));
+    d.fail_crossbar(healthy.front());
+    EXPECT_FALSE(path_valid(d, src, dst, healthy));
+  }
+  {
+    DegradedTopology d(t);
+    d.fail_crossbar(healthy.back());
+    EXPECT_FALSE(path_valid(d, src, dst, healthy));
+  }
+  {
+    // A one-element path (same-crossbar neighbors) has no interior cable
+    // for link_usable to vet -- the endpoint check must still fire.
+    DegradedTopology d(t);
+    const std::vector<int> self_path = {t.node_xbar(src)};
+    EXPECT_TRUE(path_valid(d, src, NodeId{1}, self_path));
+    d.fail_crossbar(self_path.front());
+    EXPECT_FALSE(path_valid(d, src, NodeId{1}, self_path));
+  }
+}
+
+TEST(DegradedContract, AuditRejectsFailedFirstOrLastCrossbarOnTorus) {
+  TorusParams p;
+  p.dims = {4, 4, 4};
+  p.nodes_per_router = 2;
+  const Torus t = Torus::build(p);
+  const NodeId src{0};
+  const NodeId dst{2 * 63 + 1};  // opposite corner
+  const std::vector<int> healthy = t.route(src, dst);
+  ASSERT_GE(healthy.size(), 2u);
+  DegradedTopology d(t);
+  EXPECT_TRUE(path_valid(d, src, dst, healthy));
+  d.fail_crossbar(healthy.front());
+  EXPECT_FALSE(path_valid(d, src, dst, healthy));
+  d.reset();
+  d.fail_crossbar(healthy.back());
+  EXPECT_FALSE(path_valid(d, src, dst, healthy));
+  d.reset();
+  // The degraded router itself never emits such a path: reroute around a
+  // failed interior router and re-audit.
+  d.fail_crossbar(healthy[1]);
+  const auto rerouted = d.route(src, dst);
+  ASSERT_TRUE(rerouted.has_value());
+  EXPECT_TRUE(path_valid(d, src, dst, *rerouted));
+  const RouteAudit audit = audit_routes(d, 7, 5);
+  EXPECT_TRUE(audit.clean());
+  EXPECT_EQ(audit.unreachable, 0);
+}
+
 TEST(CustomTopology, AverageHopsGrowsWithCuCount) {
   TopologyParams small;
   small.cu_count = 4;
   TopologyParams big;
   big.cu_count = 17;
-  const double avg_small = Topology::build(small).average_hops(NodeId{0});
-  const double avg_big = Topology::build(big).average_hops(NodeId{0});
+  const double avg_small = FatTree::build(small).average_hops(NodeId{0});
+  const double avg_big = FatTree::build(big).average_hops(NodeId{0});
   EXPECT_LT(avg_small, avg_big);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "topo/fat_tree.hpp"
 #include "cml/cml.hpp"
 #include "sim/trace.hpp"
 #include "util/json.hpp"
@@ -97,7 +98,7 @@ TEST(TraceRecorder, EscapedOutputIsParseableJson) {
 TEST(TraceRecorder, CmlRunProducesLinkSpans) {
   topo::TopologyParams tp;
   tp.cu_count = 1;
-  const topo::Topology topo = topo::Topology::build(tp);
+  const topo::FatTree topo = topo::FatTree::build(tp);
   Simulator simulator;
   cml::CmlConfig config;
   config.nodes = 2;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "topo/fat_tree.hpp"
 #include "model/apps.hpp"
 #include "model/sim_validation.hpp"
 #include "spu/pipeline.hpp"
@@ -8,10 +9,10 @@ namespace rr::model {
 namespace {
 
 const topo::Topology& two_cu_topo() {
-  static const topo::Topology t = [] {
+  static const topo::FatTree t = [] {
     topo::TopologyParams p;
     p.cu_count = 2;
-    return topo::Topology::build(p);
+    return topo::FatTree::build(p);
   }();
   return t;
 }
