@@ -18,13 +18,23 @@
 //       [--chunk=4] [--threads-per-worker=1] [--budget=-1]
 //       [--deadline-ms=0] [--slow-ms=0] [--slow-first=-1]
 //       [--crash-shard=-1] [--crash-after=0] [--out=PATH] [--report=PATH]
+//       [--trace=PATH] [--flightrec=PATH] [--fail-index=-1]
+//       [--chaos-seed=0] [--chaos-rate=0.05]
 //
 // --slow-ms pads every scenario; --slow-first=K restricts the padding to
 // scenarios with index < K, which piles the work onto the first shard and
 // exercises work-stealing (the padding does not change the results --
 // scenario metrics depend only on the seed).
+//
+// Fleet observability knobs (DESIGN.md §15): --trace merges every
+// process's Chrome trace into one file; --flightrec pins the crash
+// flight recorder's dump path (defaults to work_dir/flightrec.json);
+// --fail-index=K makes scenario K permanently fail, a deterministic
+// degraded run that leaves a postmortem behind; --chaos-seed installs a
+// seeded fault-injecting filesystem for the whole fleet.
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -36,7 +46,9 @@
 #include "sweep_engine/context.hpp"
 #include "sweep_engine/studies.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/fileio.hpp"
+#include "util/flightrec.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -49,7 +61,9 @@ int main(int argc, char** argv) {
                  " [--scenarios=N] [--replications=N] [--seed=N] [--chunk=N]"
                  " [--threads-per-worker=N] [--budget=N] [--deadline-ms=N]"
                  " [--slow-ms=N] [--slow-first=K] [--crash-shard=K]"
-                 " [--crash-after=N] [--out=PATH] [--report=PATH]\n";
+                 " [--crash-after=N] [--out=PATH] [--report=PATH]"
+                 " [--trace=PATH] [--flightrec=PATH] [--fail-index=K]"
+                 " [--chaos-seed=N] [--chaos-rate=R]\n";
     return fault::to_int(fault::ExitCode::kUsage);
   }
 
@@ -92,11 +106,36 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(cli.get_int("deadline-ms", 0));
   cfg.crash_shard = static_cast<int>(cli.get_int("crash-shard", -1));
   cfg.crash_after = static_cast<int>(cli.get_int("crash-after", 0));
+  cfg.trace_path = cli.get("trace", "");
+
+  // Arm the flight recorder before the run so the ring captures campaign
+  // marks and frame traffic from the first frame on; the exit path below
+  // dumps it whenever the run ends degraded or worse.
+  if (const std::string fr = cli.get("flightrec", ""); !fr.empty())
+    FlightRecorder::global().set_dump_path(fr);
+
+  const int fail_index = static_cast<int>(cli.get_int("fail-index", -1));
+
+  // A nonzero chaos seed puts the whole fleet (workers inherit the
+  // installed Env across fork) on a deterministically faulty filesystem.
+  std::unique_ptr<ChaosEnv> chaos;
+  const auto chaos_seed =
+      static_cast<std::uint64_t>(cli.get_int("chaos-seed", 0));
+  if (chaos_seed != 0) {
+    ChaosConfig ccfg;
+    ccfg.seed = chaos_seed;
+    ccfg.fault_rate = cli.get_double("chaos-rate", 0.05);
+    chaos = std::make_unique<ChaosEnv>(ccfg);
+  }
+  const ScopedEnv scoped_env(chaos.get());
 
   const auto& ctx = engine::SharedContext::instance();
   const campaign::CampaignResult result = campaign::run_campaign(
       spec,
       [&](int i, const engine::CancelToken& cancel) {
+        if (i == fail_index)
+          throw engine::PermanentError("injected permanent fault at index " +
+                                       std::to_string(i));
         const auto pad =
             (slow_first < 0 || i < slow_first) ? slow
                                                : std::chrono::milliseconds(0);
@@ -148,6 +187,13 @@ int main(int argc, char** argv) {
             << " cache_hits="
             << obs::MetricsRegistry::global().counter("campaign.cache.hit")
                    .value()
+            << " fleet_parts=" << result.fleet.parts.size()
+            << " fleet_appends="
+            << [&] {
+                 const obs::MetricSnapshot* m =
+                     result.fleet.merged.find("journal.appends");
+                 return m ? m->ivalue : 0;
+               }()
             << "\n";
 
   if (const std::string out = cli.get("out", ""); !out.empty()) {
@@ -170,5 +216,6 @@ int main(int argc, char** argv) {
       return fault::to_int(fault::ExitCode::kError);
     }
   }
-  return result.exit_code();
+  // Degraded-or-worse exits leave the flight-ring postmortem behind.
+  return FlightRecorder::dump_on_exit(result.exit_code());
 }

@@ -15,6 +15,11 @@
 //     progress  {t, shard, completed:[[idx,status]..],
 //                executed, remaining, outcome}       after each chunk, and
 //                                                    as an idle heartbeat
+//     stats     {t, shard, metrics}                  cumulative absolute
+//                                                    metrics snapshot (obs
+//                                                    fleet wire form),
+//                                                    piggybacked after each
+//                                                    progress and before done
 //     released  {t, shard, ranges:[[lo,hi)..]}       reply to steal
 //     done      {t, shard, outcome}                  reply to stop
 //
@@ -23,6 +28,10 @@
 //     steal     {t}                                  give back ~half of the
 //                                                    unstarted remainder
 //     stop      {t}                                  finish up and exit
+//
+// Any frame may additionally carry "fs", a per-sender frame sequence id;
+// the service layer stamps it to pair flow events (send "s" / recv "f")
+// in merged distributed traces.  Receivers that don't trace ignore it.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +70,7 @@ bool valid_utf8(std::string_view bytes);
 enum class MsgType {
   kHello,
   kProgress,
+  kStats,
   kReleased,
   kDone,  // worker -> coordinator
   kRun,

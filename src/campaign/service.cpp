@@ -11,14 +11,21 @@
 #include <chrono>
 #include <cstdlib>
 #include <deque>
+#include <map>
 #include <sstream>
 
 #include "campaign/cache.hpp"
 #include "campaign/protocol.hpp"
+#include "obs/export.hpp"
+#include "obs/fleet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/report.hpp"
+#include "obs/tracemerge.hpp"
+#include "sim/trace.hpp"
 #include "util/expect.hpp"
 #include "util/fileio.hpp"
+#include "util/flightrec.hpp"
 #include "util/log.hpp"
 
 namespace rr::campaign {
@@ -69,6 +76,46 @@ std::string coord_journal_path(const ServiceConfig& cfg) {
   return cfg.work_dir + "/shard-coord.jsonl";
 }
 
+// ---------------------------------------------------------------------------
+// Fleet observability plumbing (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+bool tracing_enabled(const ServiceConfig& cfg) {
+  return !cfg.trace_path.empty() && !cfg.work_dir.empty();
+}
+
+std::string coord_trace_path(const ServiceConfig& cfg) {
+  return cfg.work_dir + "/trace-coord.json";
+}
+
+/// Per-incarnation file: a respawned shard must not clobber what an
+/// earlier incarnation managed to write.
+std::string shard_trace_path(const ServiceConfig& cfg, int shard,
+                             int incarnation) {
+  return cfg.work_dir + "/trace-shard-" + std::to_string(shard) + "-" +
+         std::to_string(incarnation) + ".json";
+}
+
+bool write_trace_file(const sim::TraceRecorder& rec, const std::string& path) {
+  std::ostringstream os;
+  rec.write_json(os);
+  return write_file_atomic(path, os.str());
+}
+
+/// Flow ids pair a frame's send ("s") with its receive ("f") across the
+/// merged trace, so every sender stamps "fs" from its own disjoint
+/// range: the coordinator from kCoordFlowBase, shard k incarnation i
+/// from (8k + i + 1) * kShardFlowStride.  Ranges never collide below
+/// one million frames per incarnation.
+constexpr std::uint64_t kShardFlowStride = 1'000'000;
+constexpr std::uint64_t kCoordFlowBase = 2'000'000'000;
+
+std::uint64_t shard_flow_base(int shard, int incarnation) {
+  return (static_cast<std::uint64_t>(shard) * 8 +
+          static_cast<std::uint64_t>(incarnation) + 1) *
+         kShardFlowStride;
+}
+
 engine::ResilientConfig shard_resilient_config(const CampaignSpec& spec,
                                                const ServiceConfig& cfg) {
   engine::ResilientConfig rcfg = cfg.resilient;
@@ -83,13 +130,56 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
 // Worker side.  Runs in the forked child; never returns.
 // ---------------------------------------------------------------------------
 
-[[noreturn]] void worker_main(int fd, int shard, const CampaignSpec& spec,
+[[noreturn]] void worker_main(int fd, int shard, int incarnation,
+                              const CampaignSpec& spec,
                               const engine::ResilientScenario& fn,
                               const ServiceConfig& cfg, bool arm_crash) {
   // Satellite: workers re-read the log environment the coordinator
-  // exported and tag every line with their shard id.
+  // exported and tag every line with their shard id -- as text prefix
+  // for humans and as a structured JSONL field for tools.
   log_init_from_env();
   set_log_prefix("shard " + std::to_string(shard));
+  set_log_shard(shard);
+
+  // The forked child inherited the coordinator's registry *values*, its
+  // WallTrace attachment, and its flight-recorder dump path; all three
+  // would corrupt fleet observability.  Reset the registry so the
+  // absolute snapshots this worker ships describe only its own work,
+  // attach (or detach) the wall trace to this process's recorder, and
+  // point postmortems at a shard-scoped file.
+  obs::MetricsRegistry::global().reset();
+  const bool tracing = tracing_enabled(cfg);
+  sim::TraceRecorder rec;
+  const std::string track = "shard" + std::to_string(shard);
+  obs::WallTrace::global().attach(tracing ? &rec : nullptr, "wall/" + track);
+  if (!cfg.work_dir.empty())
+    FlightRecorder::global().set_dump_path(cfg.work_dir + "/flightrec-shard-" +
+                                           std::to_string(shard) + ".json");
+
+  // Frame instrumentation: every sent frame is stamped with a flow id
+  // ("fs") and opens a flow at this end; every received frame with a
+  // stamp closes one.  The last frames also land in the flight ring.
+  std::uint64_t fseq = 0;
+  const std::uint64_t flow_base = shard_flow_base(shard, incarnation);
+  const std::string frame_track = "frames/" + track;
+  const auto send_frame = [&](Json msg, const char* type) -> bool {
+    const std::uint64_t id = flow_base + fseq++;
+    msg.set("fs", static_cast<std::int64_t>(id));
+    if (tracing)
+      rec.flow_begin(std::string("send ") + type, frame_track, obs::wall_now(),
+                     id);
+    FlightRecorder::global().record(FlightKind::kFrame,
+                                    std::string("send ") + type,
+                                    static_cast<double>(shard));
+    return write_frame(fd, msg);
+  };
+  const auto send_stats = [&]() -> bool {
+    Json st = Json::object();
+    st.set("t", "stats").set("shard", shard)
+        .set("metrics",
+             obs::snapshot_to_wire(obs::MetricsRegistry::global().snapshot()));
+    return send_frame(std::move(st), "stats");
+  };
 
   int code = fault::to_int(fault::ExitCode::kError);
   try {
@@ -104,7 +194,7 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
       Json hello = Json::object();
       hello.set("t", "hello").set("shard", shard)
           .set("pid", static_cast<std::int64_t>(::getpid()));
-      if (!write_frame(fd, hello)) std::_Exit(code);
+      if (!send_frame(std::move(hello), "hello")) std::_Exit(code);
     }
 
     std::deque<int> owned;
@@ -125,6 +215,16 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
         const MsgType t = frame_type(*msg);  // throws on garbage: the
                                              // catch below exits kError
                                              // and the coordinator respawns
+        FlightRecorder::global().record(FlightKind::kFrame,
+                                        std::string("recv ") + to_string(t),
+                                        static_cast<double>(shard));
+        if (tracing) {
+          const Json* fs = msg->find("fs");
+          if (fs && fs->is_number() && fs->as_double() >= 0)
+            rec.flow_end(std::string("recv ") + to_string(t), frame_track,
+                         obs::wall_now(),
+                         static_cast<std::uint64_t>(fs->as_double()));
+        }
         if (t == MsgType::kRun) {
           // Bounds-checked decode: an assignment outside the campaign's
           // index space is a desynced or hostile stream, rejected before
@@ -148,7 +248,7 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
           Json rel = Json::object();
           rel.set("t", "released").set("shard", shard)
               .set("ranges", ranges_to_json(ranges_from_sorted_indices(give)));
-          if (!write_frame(fd, rel)) break;
+          if (!send_frame(std::move(rel), "released")) break;
         } else if (t == MsgType::kStop) {
           stopping = true;
         }
@@ -163,7 +263,7 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
               .set("completed", Json::array()).set("executed", 0)
               .set("resumed", 0).set("remaining", 0)
               .set("outcome", engine::to_string(worst));
-          if (!write_frame(fd, hb)) break;
+          if (!send_frame(std::move(hb), "progress")) break;
         }
         continue;
       }
@@ -181,8 +281,17 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
       int pre = 0;
       for (const int i : chunk)
         if (journal.completed(i)) ++pre;
-      const engine::ResilientReport rep = engine::run_resilient_indices(
-          eng, spec.scenarios, chunk, fn, &journal, rcfg);
+      static obs::Histogram& chunk_hist =
+          obs::MetricsRegistry::global().histogram("campaign.chunk_us",
+                                                   obs::latency_bounds_us());
+      engine::ResilientReport rep = [&] {
+        // The span publishes chunk wall latency into the registry and,
+        // when tracing, onto this worker's wall track.
+        obs::ProfSpan span("chunk x" + std::to_string(chunk.size()),
+                           &chunk_hist);
+        return engine::run_resilient_indices(eng, spec.scenarios, chunk, fn,
+                                             &journal, rcfg);
+      }();
       if (outcome_rank(rep.outcome) > outcome_rank(worst)) worst = rep.outcome;
 
       Json completed = Json::array();
@@ -202,7 +311,10 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
           .set("resumed", pre)
           .set("remaining", static_cast<std::int64_t>(owned.size()))
           .set("outcome", engine::to_string(rep.outcome));
-      if (!write_frame(fd, progress)) break;
+      if (!send_frame(std::move(progress), "progress")) break;
+      // Piggyback the cumulative metrics snapshot on every chunk's
+      // progress, so a later crash loses at most one chunk of counters.
+      if (!send_stats()) break;
       if (rep.outcome == engine::RunOutcome::kBudgetExceeded) {
         budget_hit = true;
         owned.clear();
@@ -211,18 +323,27 @@ int outcome_rank(engine::RunOutcome o) { return static_cast<int>(o); }
 
     code = engine::exit_code(worst);
     if (stopping) {
+      // Final stats before done, so the coordinator's drain folds this
+      // incarnation's complete counters into the fleet snapshot.
+      send_stats();
       Json done = Json::object();
       done.set("t", "done").set("shard", shard)
           .set("outcome", engine::to_string(worst));
-      write_frame(fd, done);
+      send_frame(std::move(done), "done");
     }
   } catch (const std::exception& e) {
     RR_ERROR("campaign worker failed: " << e.what());
     code = fault::to_int(fault::ExitCode::kError);
   }
+  if (tracing) {
+    obs::export_counters(obs::MetricsRegistry::global().snapshot(), rec,
+                         obs::wall_now(), "wall/" + track);
+    write_trace_file(rec, shard_trace_path(cfg, shard, incarnation));
+  }
   // Forked child: no destructors, no atexit -- every journal append was
   // already fsync'd, and running the parent's cleanup here would be wrong.
-  std::_Exit(code);
+  // A degraded exit leaves its flight-ring postmortem behind first.
+  std::_Exit(FlightRecorder::dump_on_exit(code));
 }
 
 // ---------------------------------------------------------------------------
@@ -240,6 +361,8 @@ struct WorkerState {
   int respawns = 0;
   std::vector<std::uint8_t> owned;  ///< per campaign index: assigned, not done
   int owned_count = 0;
+  obs::Snapshot stats_snap;  ///< latest absolute stats this incarnation
+  bool has_stats = false;
 };
 
 class Coordinator {
@@ -247,10 +370,49 @@ class Coordinator {
   Coordinator(const CampaignSpec& spec, const engine::ResilientScenario& fn,
               const ServiceConfig& cfg)
       : spec_(spec), fn_(fn), cfg_(cfg), n_(spec.scenarios),
+        tracing_(tracing_enabled(cfg)),
         done_(static_cast<std::size_t>(n_), 0) {}
 
   CampaignStats stats;
   bool abort = false;
+
+  /// The fleet snapshot after run(): the coordinator's own registry as
+  /// part "coord", then each shard's folded stats under its index label.
+  obs::FleetSnapshot fleet() const {
+    obs::FleetSnapshot f;
+    f.add_part("coord", obs::MetricsRegistry::global().snapshot());
+    for (const auto& [shard, snap] : shard_stats_)
+      f.add_part(std::to_string(shard), snap);
+    return f;
+  }
+
+  /// Merge the coordinator's frame trace with every shard incarnation's
+  /// trace file into cfg.trace_path (crashed incarnations wrote nothing
+  /// and are skipped).
+  void write_merged_trace() {
+    if (!tracing_) return;
+    obs::export_counters(obs::MetricsRegistry::global().snapshot(), trace_,
+                         obs::wall_now(), "wall/coord");
+    std::vector<obs::TracePart> parts;
+    if (write_trace_file(trace_, coord_trace_path(cfg_)))
+      parts.push_back({"coord", coord_trace_path(cfg_)});
+    for (const WorkerState& w : workers_)
+      for (int inc = 0; inc <= w.respawns; ++inc)
+        parts.push_back(
+            {"shard" + std::to_string(w.shard) +
+                 (inc > 0 ? "." + std::to_string(inc) : ""),
+             shard_trace_path(cfg_, w.shard, inc)});
+    int skipped = 0;
+    if (!obs::merge_trace_files(parts, cfg_.trace_path, &skipped)) {
+      RR_WARN("campaign: merged trace write to " << cfg_.trace_path
+                                                 << " failed");
+    } else {
+      RR_INFO("campaign: merged trace -> " << cfg_.trace_path << " ("
+                                           << parts.size() - skipped
+                                           << " parts, " << skipped
+                                           << " missing)");
+    }
+  }
 
   /// Drive the campaign; on return every index is either done or
   /// unreachable (budget abort).
@@ -313,6 +475,24 @@ class Coordinator {
   }
 
  private:
+  /// Stamp, trace, flight-record, and write one coordinator->worker
+  /// frame.  A false return (dead peer) is caught by reap(), same as the
+  /// raw write_frame contract.
+  bool send(WorkerState& w, Json msg, const char* type) {
+    const std::uint64_t id = kCoordFlowBase + fseq_++;
+    msg.set("fs", static_cast<std::int64_t>(id));
+    if (tracing_)
+      trace_.flow_begin(std::string("send ") + type + " -> shard " +
+                            std::to_string(w.shard),
+                        "frames/coord", obs::wall_now(), id);
+    FlightRecorder::global().record(
+        FlightKind::kFrame,
+        std::string("coord send ") + type + " -> shard " +
+            std::to_string(w.shard),
+        static_cast<double>(w.shard));
+    return write_frame(w.fd, msg);
+  }
+
   void preload_done() {
     std::vector<std::string> paths = journal_paths();
     const auto pre =
@@ -371,7 +551,8 @@ class Coordinator {
       ::close(sv[0]);
       for (const WorkerState& other : workers_)
         if (other.fd >= 0) ::close(other.fd);
-      worker_main(sv[1], w.shard, spec_, fn_, cfg_, arm_crash);  // noreturn
+      worker_main(sv[1], w.shard, w.respawns, spec_, fn_, cfg_,
+                  arm_crash);  // noreturn
     }
     ::close(sv[1]);
     w.pid = pid;
@@ -380,6 +561,8 @@ class Coordinator {
     w.stopping = false;
     w.done_seen = false;
     w.steal_outstanding = false;
+    w.has_stats = false;  // the new incarnation starts its counters at zero
+    w.stats_snap = {};
     metrics().worker_spawn.inc();
     ++stats.workers_spawned;
     assign(w, ranges);
@@ -398,7 +581,7 @@ class Coordinator {
     }
     Json msg = Json::object();
     msg.set("t", "run").set("ranges", ranges_to_json(ranges));
-    write_frame(w.fd, msg);  // a dead peer is caught by reap()
+    send(w, std::move(msg), "run");  // a dead peer is caught by reap()
   }
 
   void release_owned_to_pool(WorkerState& w) {
@@ -427,6 +610,19 @@ class Coordinator {
   void handle_frame(WorkerState& w, const Json& msg) {
     last_frame_ = Clock::now();
     const MsgType t = frame_type(msg);
+    FlightRecorder::global().record(
+        FlightKind::kFrame,
+        std::string("coord recv ") + to_string(t) + " <- shard " +
+            std::to_string(w.shard),
+        static_cast<double>(w.shard));
+    if (tracing_) {
+      const Json* fs = msg.find("fs");
+      if (fs && fs->is_number() && fs->as_double() >= 0)
+        trace_.flow_end(std::string("recv ") + to_string(t) + " <- shard " +
+                            std::to_string(w.shard),
+                        "frames/coord", obs::wall_now(),
+                        static_cast<std::uint64_t>(fs->as_double()));
+    }
     if (t == MsgType::kProgress) {
       for (const Json& pair : msg.at("completed").as_array()) {
         const int i = static_cast<int>(pair.at(std::size_t{0}).as_int());
@@ -468,7 +664,19 @@ class Coordinator {
         metrics().steal_indices.add(static_cast<std::uint64_t>(granted));
         ++stats.steals_granted;
         stats.stolen_indices += granted;
+        FlightRecorder::global().record(
+            FlightKind::kMetric,
+            "campaign.steal.indices +" + std::to_string(granted) +
+                " (shard " + std::to_string(w.shard) + ")",
+            static_cast<double>(granted));
       }
+    } else if (t == MsgType::kStats) {
+      // Absolute cumulative snapshot for this incarnation; keep only the
+      // latest (folding into shard_stats_ happens once, at retirement).
+      // snapshot_from_wire throws on garbage, retiring the worker like
+      // any other corrupt frame.
+      w.stats_snap = obs::snapshot_from_wire(msg.at("metrics"));
+      w.has_stats = true;
     } else if (t == MsgType::kDone) {
       w.done_seen = true;
       if (msg.at("outcome").as_string() ==
@@ -518,7 +726,7 @@ class Coordinator {
       victim->steal_outstanding = true;
       metrics().steal_requests.inc();
       ++stats.steal_requests;
-      write_frame(victim->fd, msg);
+      send(*victim, std::move(msg), "steal");
     }
   }
 
@@ -589,6 +797,20 @@ class Coordinator {
     w.alive = false;
     w.steal_outstanding = false;
 
+    // Fold the incarnation's final absolute snapshot into the shard's
+    // fleet part; incarnations of one shard sum.  A crash loses at most
+    // the counters since its last stats frame (one chunk).
+    if (w.has_stats) {
+      try {
+        obs::merge_into(shard_stats_[w.shard], w.stats_snap);
+      } catch (const std::exception& e) {
+        RR_WARN("campaign: shard " << w.shard
+                                   << " stats unmergeable: " << e.what());
+      }
+      w.has_stats = false;
+      w.stats_snap = {};
+    }
+
     const int code = WIFEXITED(status) ? WEXITSTATUS(status)
                      : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
                                            : -1;
@@ -600,6 +822,14 @@ class Coordinator {
 
     metrics().worker_crash.inc();
     ++stats.crashes;
+    FlightRecorder::global().record(
+        FlightKind::kMark,
+        "worker crash: shard " + std::to_string(w.shard) + " exit " +
+            std::to_string(code),
+        static_cast<double>(code));
+    // Crash detection is a dump trigger: the postmortem shows the frames
+    // and log lines leading up to the death while they are still fresh.
+    FlightRecorder::global().dump();
     RR_WARN("campaign: shard " << w.shard << " died (exit " << code << ", "
                                << (fault::exit_code_from_int(code)
                                        ? describe(*fault::exit_code_from_int(
@@ -612,6 +842,11 @@ class Coordinator {
       ++w.respawns;
       metrics().worker_respawn.inc();
       ++stats.respawns;
+      FlightRecorder::global().record(
+          FlightKind::kMetric,
+          "campaign.worker.respawn +1 (shard " + std::to_string(w.shard) +
+              ")",
+          1.0);
       const std::vector<IndexRange> ranges = owned_ranges(w);
       // Clear ownership first: spawn() re-asserts it via assign(), and a
       // failed spawn pools the ranges instead.
@@ -643,7 +878,7 @@ class Coordinator {
       w.stopping = true;
       Json msg = Json::object();
       msg.set("t", "stop");
-      write_frame(w.fd, msg);
+      send(w, std::move(msg), "stop");
     }
     const Clock::time_point deadline = Clock::now() + cfg_.fleet_deadline;
     while (any_alive() && Clock::now() < deadline) {
@@ -690,11 +925,19 @@ class Coordinator {
   const engine::ResilientScenario& fn_;
   const ServiceConfig& cfg_;
   const int n_;
+  const bool tracing_;
   std::vector<std::uint8_t> done_;
   int done_count_ = 0;
   std::deque<int> pool_;
   std::vector<WorkerState> workers_;
   Clock::time_point last_frame_{};
+  /// Coordinator-side frame trace (flow send/recv events); merged with
+  /// the shard files by write_merged_trace().
+  sim::TraceRecorder trace_;
+  std::uint64_t fseq_ = 0;
+  /// Per-shard fleet parts, folded from each incarnation's last stats
+  /// frame at retirement.
+  std::map<int, obs::Snapshot> shard_stats_;
 };
 
 // ---------------------------------------------------------------------------
@@ -759,16 +1002,33 @@ CampaignResult serve_from_cache(const CampaignSpec& spec,
 void run_in_process(const CampaignSpec& spec,
                     const engine::ResilientScenario& fn,
                     const ServiceConfig& cfg, CampaignResult& result) {
+  // The degenerate shard still produces the full observability surface:
+  // a "coord" fleet part (added by the caller) and, when tracing, a
+  // single-process merged trace on the same wall track the fleet uses.
+  const bool tracing = tracing_enabled(cfg);
+  sim::TraceRecorder rec;
+  obs::WallTrace::global().attach(tracing ? &rec : nullptr, "wall/coord");
   engine::SweepEngine eng({std::max(1, cfg.threads_per_worker)});
   engine::SweepJournal journal(shard_journal_path(cfg, 0), spec.params,
                                spec.scenarios);
-  const engine::ResilientReport rep = engine::run_resilient(
-      eng, spec.scenarios, fn, &journal, shard_resilient_config(spec, cfg));
+  const engine::ResilientReport rep = [&] {
+    obs::ProfSpan span("campaign x" + std::to_string(spec.scenarios));
+    return engine::run_resilient(eng, spec.scenarios, fn, &journal,
+                                 shard_resilient_config(spec, cfg));
+  }();
   result.entries = rep.entries;
   result.outcome = rep.outcome;
   result.stats.resumed = rep.resumed;
   result.stats.executed =
       spec.scenarios - rep.resumed - rep.not_run;
+  if (tracing) {
+    obs::WallTrace::global().attach(nullptr, "");
+    obs::export_counters(obs::MetricsRegistry::global().snapshot(), rec,
+                         obs::wall_now(), "wall/coord");
+    if (write_trace_file(rec, coord_trace_path(cfg)))
+      obs::merge_trace_files({{"coord", coord_trace_path(cfg)}},
+                             cfg.trace_path);
+  }
 }
 
 }  // namespace
@@ -789,7 +1049,16 @@ CampaignReportBytes campaign_report(const CampaignSpec& spec,
   info.seed = std::to_string(spec.base_seed);
   info.threads = cfg.workers;
   obs::RunReport report(info);
-  report.add_snapshot(obs::MetricsRegistry::global().snapshot());
+  // The report's metrics block is the fleet-merged snapshot, so worker
+  // counters (journal appends, chunk latencies) are in it, not just the
+  // coordinator's own.  The stored fleet is used -- never a fresh global
+  // snapshot -- so repeated calls on one result are byte-identical.
+  if (!result.fleet.empty()) {
+    report.add_snapshot(result.fleet.merged);
+    report.set_extra("fleet", result.fleet.parts_to_json());
+  } else {
+    report.add_snapshot(obs::MetricsRegistry::global().snapshot());
+  }
   Json c = Json::object();
   c.set("scenarios", spec.scenarios)
       .set("workers", cfg.workers)
@@ -855,8 +1124,22 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                           << "; continuing without durable journals");
   }
 
+  // Flight recorder: every campaign run arms a postmortem destination
+  // (unless the host already picked one) and answers SIGUSR1 with a live
+  // ring dump -- the "what is that stuck fleet doing" probe.
+  if (!FlightRecorder::global().has_dump_path())
+    FlightRecorder::global().set_dump_path(cfg.work_dir + "/flightrec.json");
+  FlightRecorder::install_sigusr1();
+  FlightRecorder::global().record(
+      FlightKind::kMark,
+      "campaign " + campaign_id + " start: " +
+          std::to_string(spec.scenarios) + " scenarios, " +
+          std::to_string(cfg.workers) + " workers",
+      static_cast<double>(spec.scenarios));
+
   if (cfg.workers == 0) {
     run_in_process(spec, fn, cfg, result);
+    result.fleet.add_part("coord", obs::MetricsRegistry::global().snapshot());
   } else {
     // A worker death mid-write must surface as EPIPE on our write_frame,
     // not as a fatal signal.
@@ -872,6 +1155,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     }
     ::sigaction(SIGPIPE, &saved, nullptr);
     result.stats = coord.stats;
+    coord.write_merged_trace();
+    result.fleet = coord.fleet();
     result.entries = engine::merge_journal_files(
         [&] {
           std::vector<std::string> paths;
@@ -907,6 +1192,16 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     cache->publish(campaign, meta, result.result_bytes, rep.json,
                    rep.markdown);
   }
+
+  FlightRecorder::global().record(
+      FlightKind::kMark,
+      "campaign " + campaign_id + " " + engine::to_string(result.outcome),
+      static_cast<double>(result.exit_code()));
+  // A degraded-or-worse outcome is a dump trigger even when the process
+  // itself survives: the postmortem captures the run that went wrong, not
+  // just runs that die.
+  if (result.exit_code() >= fault::to_int(fault::ExitCode::kDegraded))
+    FlightRecorder::global().dump();
   return result;
 }
 

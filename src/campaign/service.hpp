@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/fleet.hpp"
 #include "sweep_engine/resilient.hpp"
 
 namespace rr::campaign {
@@ -81,6 +82,12 @@ struct ServiceConfig {
   /// respawn path.  Respawns are not re-armed.
   int crash_shard = -1;
   int crash_after = 0;
+  /// Merged distributed trace: when set (and work_dir is usable), every
+  /// process writes a per-incarnation Chrome trace file into work_dir
+  /// (ProfSpan wall spans, frame instants, flow events pairing frame
+  /// send->recv) and the coordinator merges them all into this path,
+  /// one Perfetto process row per shard.  Empty disables tracing.
+  std::string trace_path;
 };
 
 struct CampaignStats {
@@ -107,6 +114,12 @@ struct CampaignResult {
   std::string cached_report_json;
   std::string cached_report_md;
   CampaignStats stats;
+  /// Fleet-wide metrics: every worker ships absolute registry snapshots
+  /// over `stats` frames; the coordinator folds each shard's last
+  /// snapshot (across incarnations) into a labeled part ("coord", "0",
+  /// "1", ...) and `merged` sums them exactly.  Empty on a cache hit
+  /// (the cached report carries the populating run's fleet block).
+  obs::FleetSnapshot fleet;
   int ok = 0;
   int timed_out = 0;
   int quarantined = 0;
@@ -128,10 +141,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                             const ServiceConfig& cfg);
 
 /// The report.json/report.md pair for a finished campaign: rr-run-report
-/// with the coordinator's campaign.* metrics snapshot and shard stats
-/// under "extra".  On a cache hit the cached pair is returned verbatim
-/// instead of being rebuilt, so a hit's report is byte-identical to the
-/// populating run's.
+/// whose "metrics" block is the fleet-merged snapshot (worker counters
+/// included), with per-shard wire snapshots under "extra.fleet" and the
+/// shard stats under "extra.campaign".  On a cache hit the cached pair
+/// is returned verbatim instead of being rebuilt, so a hit's report is
+/// byte-identical to the populating run's.
 struct CampaignReportBytes {
   std::string json;
   std::string markdown;

@@ -1,0 +1,181 @@
+#include "obs/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rr::obs {
+
+namespace {
+
+constexpr const char* kMagic = "rr-metrics";
+
+MetricKind kind_from_string(const std::string& s) {
+  if (s == "counter") return MetricKind::kCounter;
+  if (s == "gauge") return MetricKind::kGauge;
+  if (s == "histogram") return MetricKind::kHistogram;
+  throw std::runtime_error("wire snapshot: unknown metric kind \"" + s +
+                           "\"");
+}
+
+std::uint64_t as_count(const Json& j, const char* what) {
+  const std::int64_t v = j.as_int();  // throws unless integral
+  if (v < 0)
+    throw std::runtime_error(std::string("wire snapshot: negative ") + what);
+  return static_cast<std::uint64_t>(v);
+}
+
+void sort_by_name(Snapshot& s) {
+  std::sort(s.metrics.begin(), s.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+}
+
+}  // namespace
+
+Json snapshot_to_wire(const Snapshot& s) {
+  Json arr = Json::array();
+  for (const MetricSnapshot& m : s.metrics) {
+    Json o = Json::object();
+    o.set("n", m.name).set("k", to_string(m.kind));
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        o.set("v", m.ivalue);
+        break;
+      case MetricKind::kGauge:
+        o.set("v", m.value);
+        break;
+      case MetricKind::kHistogram: {
+        Json bounds = Json::array();
+        for (const double b : m.bounds) bounds.push_back(b);
+        Json buckets = Json::array();
+        for (const std::uint64_t c : m.buckets) buckets.push_back(c);
+        o.set("c", m.count).set("s", m.sum)
+            .set("b", std::move(bounds)).set("q", std::move(buckets));
+        break;
+      }
+    }
+    arr.push_back(std::move(o));
+  }
+  Json out = Json::object();
+  out.set("snapshot", kMagic).set("version", 1).set("metrics",
+                                                    std::move(arr));
+  return out;
+}
+
+Snapshot snapshot_from_wire(const Json& j) {
+  if (!j.is_object() || !j.find("snapshot") ||
+      j.at("snapshot").as_string() != kMagic)
+    throw std::runtime_error("wire snapshot: missing rr-metrics magic");
+  if (j.at("version").as_int() != 1)
+    throw std::runtime_error("wire snapshot: unsupported version");
+  Snapshot out;
+  for (const Json& o : j.at("metrics").as_array()) {
+    MetricSnapshot m;
+    m.name = o.at("n").as_string();
+    if (m.name.empty())
+      throw std::runtime_error("wire snapshot: empty metric name");
+    m.kind = kind_from_string(o.at("k").as_string());
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        m.ivalue = as_count(o.at("v"), "counter value");
+        break;
+      case MetricKind::kGauge:
+        m.value = o.at("v").as_double();
+        break;
+      case MetricKind::kHistogram: {
+        m.count = as_count(o.at("c"), "histogram count");
+        m.sum = o.at("s").as_double();
+        for (const Json& b : o.at("b").as_array())
+          m.bounds.push_back(b.as_double());
+        for (const Json& q : o.at("q").as_array())
+          m.buckets.push_back(as_count(q, "bucket count"));
+        if (m.buckets.size() != m.bounds.size() + 1)
+          throw std::runtime_error("wire snapshot: histogram \"" + m.name +
+                                   "\" bucket count != bounds + overflow");
+        for (std::size_t i = 1; i < m.bounds.size(); ++i)
+          if (!(m.bounds[i - 1] < m.bounds[i]))
+            throw std::runtime_error("wire snapshot: histogram \"" + m.name +
+                                     "\" bounds not strictly increasing");
+        break;
+      }
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  sort_by_name(out);
+  return out;
+}
+
+void merge_into(Snapshot& dst, const Snapshot& src) {
+  sort_by_name(dst);
+  Snapshot rhs = src;
+  sort_by_name(rhs);
+
+  std::vector<MetricSnapshot> out;
+  out.reserve(dst.metrics.size() + rhs.metrics.size());
+  auto a = dst.metrics.begin();
+  auto b = rhs.metrics.begin();
+  while (a != dst.metrics.end() || b != rhs.metrics.end()) {
+    if (b == rhs.metrics.end() ||
+        (a != dst.metrics.end() && a->name < b->name)) {
+      out.push_back(std::move(*a++));
+      continue;
+    }
+    if (a == dst.metrics.end() || b->name < a->name) {
+      out.push_back(std::move(*b++));
+      continue;
+    }
+    if (a->kind != b->kind)
+      throw std::runtime_error("metric merge: \"" + a->name +
+                               "\" kind mismatch (" + to_string(a->kind) +
+                               " vs " + to_string(b->kind) + ")");
+    MetricSnapshot m = std::move(*a++);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        m.ivalue += b->ivalue;
+        break;
+      case MetricKind::kGauge:
+        m.value += b->value;
+        break;
+      case MetricKind::kHistogram:
+        if (m.bounds != b->bounds || m.buckets.size() != b->buckets.size())
+          throw std::runtime_error("metric merge: \"" + m.name +
+                                   "\" histogram bounds mismatch");
+        m.count += b->count;
+        m.sum += b->sum;
+        for (std::size_t i = 0; i < m.buckets.size(); ++i)
+          m.buckets[i] += b->buckets[i];
+        break;
+    }
+    out.push_back(std::move(m));
+    ++b;
+  }
+  dst.metrics = std::move(out);
+}
+
+void FleetSnapshot::add_part(const std::string& label, const Snapshot& part) {
+  bool found = false;
+  for (auto& [name, snap] : parts) {
+    if (name == label) {
+      merge_into(snap, part);
+      found = true;
+      break;
+    }
+  }
+  if (!found) parts.emplace_back(label, part);
+  merge_into(merged, part);
+}
+
+const Snapshot* FleetSnapshot::part(std::string_view label) const {
+  for (const auto& [name, snap] : parts)
+    if (name == label) return &snap;
+  return nullptr;
+}
+
+Json FleetSnapshot::parts_to_json() const {
+  Json out = Json::object();
+  for (const auto& [name, snap] : parts) out.set(name, snapshot_to_wire(snap));
+  return out;
+}
+
+}  // namespace rr::obs

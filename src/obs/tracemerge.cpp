@@ -1,0 +1,53 @@
+#include "obs/tracemerge.hpp"
+
+#include "util/fileio.hpp"
+#include "util/log.hpp"
+
+namespace rr::obs {
+
+Json merge_trace_jsons(
+    const std::vector<std::pair<std::string, Json>>& parts) {
+  Json events = Json::array();
+  int pid = 0;
+  for (const auto& [label, doc] : parts) {
+    ++pid;
+    Json name = Json::object();
+    name.set("name", label);
+    Json meta = Json::object();
+    meta.set("ph", "M").set("pid", pid).set("tid", 0)
+        .set("name", "process_name").set("args", std::move(name));
+    events.push_back(std::move(meta));
+    for (const Json& ev : doc.at("traceEvents").as_array()) {
+      Json copy = ev;
+      copy.set("pid", pid);
+      events.push_back(std::move(copy));
+    }
+  }
+  Json out = Json::object();
+  out.set("traceEvents", std::move(events));
+  return out;
+}
+
+bool merge_trace_files(const std::vector<TracePart>& parts,
+                       const std::string& out_path, int* skipped) {
+  std::vector<std::pair<std::string, Json>> docs;
+  int missed = 0;
+  for (const TracePart& part : parts) {
+    try {
+      Json doc = Json::parse(read_file(part.path));
+      (void)doc.at("traceEvents").as_array();  // validate shape up front
+      docs.emplace_back(part.label, std::move(doc));
+    } catch (const std::exception& e) {
+      // Expected for a crashed incarnation (std::_Exit writes nothing);
+      // anything else (torn file) is equally non-fatal to the merge.
+      ++missed;
+      RR_DEBUG("trace merge: skipping " << part.path << " (" << e.what()
+                                        << ")");
+    }
+  }
+  if (skipped) *skipped = missed;
+  if (docs.empty()) return false;
+  return write_file_atomic(out_path, merge_trace_jsons(docs).dump());
+}
+
+}  // namespace rr::obs

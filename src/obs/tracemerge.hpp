@@ -1,0 +1,37 @@
+// Distributed trace merging (DESIGN.md §15): each campaign process
+// (coordinator and every worker incarnation) writes its own Chrome
+// trace-event JSON file; merge_trace_files stitches them into one
+// document, re-homing part k's events onto pid k+1 with a process_name
+// metadata record carrying the part label.  Perfetto then shows one
+// process row per shard, and the flow-event ids the frame layer stamped
+// ("s" at send, "f" at receive -- see sim::TraceRecorder::flow_begin)
+// pair up across rows, so a steal request is followable from the
+// coordinator to the victim shard.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace rr::obs {
+
+struct TracePart {
+  std::string label;  ///< process_name in the merged view ("coord", "shard0")
+  std::string path;   ///< a TraceRecorder::write_json file
+};
+
+/// Merge part files into `out_path` (atomic write).  Missing or
+/// unparseable parts are skipped with a warning -- a crashed worker
+/// never wrote its file, and the merge must still deliver the rest.
+/// `skipped` (optional) receives the skip count.  Returns false when no
+/// part could be read or the output write failed.
+bool merge_trace_files(const std::vector<TracePart>& parts,
+                       const std::string& out_path, int* skipped = nullptr);
+
+/// The in-memory core: merge already-parsed trace documents (each a
+/// {"traceEvents":[...]} object) into one.  Exposed for tests.
+Json merge_trace_jsons(const std::vector<std::pair<std::string, Json>>& parts);
+
+}  // namespace rr::obs

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/flightrec.hpp"
 #include "util/json.hpp"
 
 namespace rr {
@@ -14,6 +15,7 @@ namespace rr {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<int> g_shard{-1};
 
 // The JSONL sink and its path are guarded by g_mu (cold path only: the
 // level check in RR_LOG already filtered).
@@ -114,6 +116,12 @@ std::string log_prefix() {
   return g_prefix;
 }
 
+void set_log_shard(int shard) {
+  g_shard.store(shard, std::memory_order_relaxed);
+}
+
+int log_shard() { return g_shard.load(std::memory_order_relaxed); }
+
 void log_init_from_env() {
   ensure_env_init();  // make sure the once-flag cannot fire after us
   std::lock_guard lock(g_mu);
@@ -131,17 +139,25 @@ void log_emit(LogLevel level, const std::string& msg) {
   else
     std::fprintf(stderr, "[%s] [%s] %s\n", to_string(level), g_prefix.c_str(),
                  msg.c_str());
+  const int shard = g_shard.load(std::memory_order_relaxed);
   if (g_json) {
     Json record = Json::object();
     record.set("ts", unix_seconds())
         .set("level", to_string(level))
         .set("thread", tid);
     if (!g_prefix.empty()) record.set("prefix", g_prefix);
+    if (shard >= 0) record.set("shard", shard);
     record.set("msg", msg);
     const std::string line = record.dump();
     std::fprintf(g_json, "%s\n", line.c_str());
     std::fflush(g_json);
   }
+  // Every emitted record also lands in the crash flight recorder, so a
+  // postmortem dump carries the last few log lines without any sink
+  // being configured.  value = log level (shard travels in the message).
+  FlightRecorder::global().record(
+      FlightKind::kLog, g_prefix.empty() ? msg : "[" + g_prefix + "] " + msg,
+      static_cast<double>(static_cast<int>(level)));
 }
 
 }  // namespace detail

@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -19,8 +20,10 @@
 #include "campaign/cache.hpp"
 #include "campaign/protocol.hpp"
 #include "campaign/service.hpp"
+#include "obs/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "util/fileio.hpp"
+#include "util/flightrec.hpp"
 #include "util/rng.hpp"
 
 #if defined(__SANITIZE_THREAD__)
@@ -251,6 +254,26 @@ TEST(CampaignProtocol, RandomGarbageNeverCrashesTheReader) {
   }
 }
 
+TEST(CampaignProtocol, StatsFramesAreInTheVocabulary) {
+  EXPECT_STREQ(campaign::to_string(campaign::MsgType::kStats), "stats");
+  ASSERT_TRUE(campaign::msg_type_from_string("stats").has_value());
+  EXPECT_EQ(*campaign::msg_type_from_string("stats"),
+            campaign::MsgType::kStats);
+  // A stats frame round-trips its wire snapshot bit-exactly.
+  obs::MetricsRegistry reg;
+  reg.counter("journal.appends").add(5);
+  reg.gauge("queue.depth").set(1.0 / 3.0);
+  Json msg = Json::object();
+  msg.set("t", "stats").set("shard", 2)
+      .set("metrics", obs::snapshot_to_wire(reg.snapshot()));
+  const auto got = frame_from_bytes(framed(msg.dump()));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(campaign::frame_type(*got), campaign::MsgType::kStats);
+  const obs::Snapshot back = obs::snapshot_from_wire(got->at("metrics"));
+  EXPECT_EQ(back.find("journal.appends")->ivalue, 5u);
+  EXPECT_EQ(back.find("queue.depth")->value, 1.0 / 3.0);
+}
+
 TEST(CampaignProtocol, SortedIndicesCompressToMaximalRanges) {
   const auto r = campaign::ranges_from_sorted_indices({0, 1, 2, 5, 7, 8});
   ASSERT_EQ(r.size(), 3u);
@@ -423,6 +446,153 @@ TEST(CampaignService, DegradedAndBudgetOutcomesFollowTheExitCodeContract) {
   EXPECT_EQ(bresult.outcome, engine::RunOutcome::kBudgetExceeded);
   EXPECT_EQ(bresult.exit_code(),
             fault::to_int(fault::ExitCode::kBudgetExceeded));
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Fleet observability (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Worker-side counters reach the fleet report: each forked worker resets
+/// its inherited registry and ships absolute snapshots over stats frames,
+/// so the sum of the shard parts' journal.appends is exactly the executed
+/// scenario count -- counters that used to be invisible to the
+/// coordinator's own snapshot.
+TEST(CampaignFleet, WorkerCountersLandInTheFleetReport) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const int n = 10;
+  const auto spec = make_spec("fleet-metrics", n);
+  campaign::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.chunk = 2;
+  cfg.work_dir = tmp_dir("campaign-fleet");
+  const auto result = campaign::run_campaign(spec, plain_fn(), cfg);
+  ASSERT_EQ(result.outcome, engine::RunOutcome::kClean);
+  ASSERT_EQ(result.stats.executed, n);
+
+  // The fleet snapshot has a coordinator part plus one part per shard.
+  ASSERT_FALSE(result.fleet.empty());
+  ASSERT_NE(result.fleet.part("coord"), nullptr);
+  std::uint64_t worker_appends = 0;
+  int shard_parts = 0;
+  for (const auto& [label, snap] : result.fleet.parts) {
+    if (label == "coord") continue;
+    ++shard_parts;
+    if (const obs::MetricSnapshot* m = snap.find("journal.appends"))
+      worker_appends += m->ivalue;
+  }
+  EXPECT_EQ(shard_parts, 2);
+  // Exactly one fsync'd append per executed scenario, summed across the
+  // shard parts (the coordinator's registry is polluted by earlier
+  // in-process tests; the worker parts are clean by construction).
+  EXPECT_EQ(worker_appends, static_cast<std::uint64_t>(n));
+  // Each worker also shipped its chunk-latency histogram.
+  bool chunk_hist = false;
+  for (const auto& [label, snap] : result.fleet.parts)
+    if (label != "coord" && snap.find("campaign.chunk_us") != nullptr &&
+        snap.find("campaign.chunk_us")->count > 0)
+      chunk_hist = true;
+  EXPECT_TRUE(chunk_hist);
+
+  // The report embeds the merged snapshot and the per-shard parts, and
+  // repeated calls on one result are byte-identical (stored fleet, not a
+  // live re-snapshot).
+  const auto rep = campaign::campaign_report(spec, cfg, result);
+  const Json doc = Json::parse(rep.json);
+  ASSERT_NE(doc.at("extra").find("fleet"), nullptr);
+  const Json& fleet_json = doc.at("extra").at("fleet");
+  ASSERT_NE(fleet_json.find("coord"), nullptr);
+  ASSERT_NE(fleet_json.find("0"), nullptr);
+  ASSERT_NE(fleet_json.find("1"), nullptr);
+  const obs::Snapshot part0 = obs::snapshot_from_wire(fleet_json.at("0"));
+  ASSERT_NE(part0.find("journal.appends"), nullptr);
+  ASSERT_NE(doc.at("metrics").find("journal.appends"), nullptr);
+  EXPECT_GE(doc.at("metrics").at("journal.appends").at("value").as_int(),
+            static_cast<std::int64_t>(n));
+  EXPECT_EQ(campaign::campaign_report(spec, cfg, result).json, rep.json);
+#endif
+}
+
+/// The merged distributed trace: one process row per campaign process,
+/// wall spans from the workers, and flow events pairing frame send with
+/// frame receive across rows.
+TEST(CampaignFleet, MergedTraceCarriesShardTracksAndFlowEvents) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const auto spec = make_spec("fleet-trace", 8);
+  campaign::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.chunk = 2;
+  cfg.work_dir = tmp_dir("campaign-trace");
+  cfg.trace_path = cfg.work_dir + "/trace.json";
+  const auto result = campaign::run_campaign(spec, plain_fn(), cfg);
+  ASSERT_EQ(result.outcome, engine::RunOutcome::kClean);
+
+  const Json doc = Json::parse(read_file(cfg.trace_path));
+  std::vector<std::string> processes;
+  int flow_begins = 0, flow_ends = 0;
+  bool worker_span = false;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M" && e.at("name").as_string() == "process_name")
+      processes.push_back(e.at("args").at("name").as_string());
+    else if (ph == "s")
+      ++flow_begins;
+    else if (ph == "f")
+      ++flow_ends;
+    else if (ph == "X" && e.at("pid").as_int() > 1)
+      worker_span = true;  // a wall span re-homed onto a shard's row
+  }
+  // coord + both shards are present as named process rows.
+  EXPECT_NE(std::find(processes.begin(), processes.end(), "coord"),
+            processes.end());
+  EXPECT_NE(std::find(processes.begin(), processes.end(), "shard0"),
+            processes.end());
+  EXPECT_NE(std::find(processes.begin(), processes.end(), "shard1"),
+            processes.end());
+  // Every frame leg is instrumented on both ends, so a clean 2-worker
+  // campaign has many completed flows; >= 1 is the contract.
+  EXPECT_GE(flow_begins, 1);
+  EXPECT_GE(flow_ends, 1);
+  EXPECT_TRUE(worker_span);
+#endif
+}
+
+/// A degraded campaign leaves a flight-recorder postmortem behind.
+TEST(CampaignFleet, DegradedRunDumpsTheFlightRecorder) {
+#ifdef RR_TSAN
+  GTEST_SKIP() << "fork + threads trips TSan's die_after_fork";
+#else
+  const engine::ResilientScenario fn = [](int i,
+                                          const engine::CancelToken&) {
+    if (i == 2) throw engine::PermanentError("injected permanent fault");
+    return scenario_metrics(i);
+  };
+  const auto spec = make_spec("fleet-flightrec", 6);
+  campaign::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.work_dir = tmp_dir("campaign-flightrec");
+  // Earlier campaigns in this process already armed a dump path; pin it
+  // to this run's work dir so the assertion reads the right file.
+  const std::string dump = cfg.work_dir + "/flightrec.json";
+  FlightRecorder::global().set_dump_path(dump);
+  const auto result = campaign::run_campaign(spec, fn, cfg);
+  EXPECT_EQ(result.exit_code(), fault::to_int(fault::ExitCode::kDegraded));
+
+  const Json doc = Json::parse(read_file(dump));
+  EXPECT_EQ(doc.at("flightrec").as_string(), "rr-flightrec");
+  // The ring captured the campaign marks and frame traffic leading up to
+  // the degraded verdict.
+  bool saw_mark = false, saw_frame = false;
+  for (const Json& e : doc.at("events").as_array()) {
+    if (e.at("kind").as_string() == "mark") saw_mark = true;
+    if (e.at("kind").as_string() == "frame") saw_frame = true;
+  }
+  EXPECT_TRUE(saw_mark);
+  EXPECT_TRUE(saw_frame);
 #endif
 }
 

@@ -217,6 +217,7 @@ TEST(Export, PrometheusGoldenFormat) {
   h.observe(1.5);
   h.observe(7.0);
   const std::string expected =
+      "# HELP lat_us lat.us\n"
       "# TYPE lat_us histogram\n"
       "lat_us_bucket{le=\"1\"} 1\n"
       "lat_us_bucket{le=\"2\"} 2\n"
@@ -224,11 +225,31 @@ TEST(Export, PrometheusGoldenFormat) {
       "lat_us_bucket{le=\"+Inf\"} 3\n"
       "lat_us_sum 9\n"
       "lat_us_count 3\n"
+      "# HELP queue_depth queue.depth\n"
       "# TYPE queue_depth gauge\n"
       "queue_depth 2.5\n"
+      "# HELP req_count req.count\n"
       "# TYPE req_count counter\n"
       "req_count 3\n";
   EXPECT_EQ(to_prometheus(reg.snapshot()), expected);
+}
+
+TEST(Export, PrometheusLabelsRenderOnEverySample) {
+  MetricsRegistry reg;
+  reg.counter("req.count").add(3);
+  Histogram& h = reg.histogram("lat.us", {1.0});
+  h.observe(0.5);
+  const std::string expected =
+      "# HELP lat_us lat.us\n"
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{le=\"1\",shard=\"3\"} 1\n"
+      "lat_us_bucket{le=\"+Inf\",shard=\"3\"} 1\n"
+      "lat_us_sum{shard=\"3\"} 0.5\n"
+      "lat_us_count{shard=\"3\"} 1\n"
+      "# HELP req_count req.count\n"
+      "# TYPE req_count counter\n"
+      "req_count{shard=\"3\"} 3\n";
+  EXPECT_EQ(to_prometheus(reg.snapshot(), {{"shard", "3"}}), expected);
 }
 
 TEST(Export, PrometheusNameSanitization) {
